@@ -1,0 +1,28 @@
+"""A4 — unstructured CSR versus the structured kernels at equal density.
+
+The paper's motivation (Sections I and III): unstructured sparsity
+needs per-non-zero metadata from memory and unbounded column indices,
+so it cannot use VRF-resident tiles of B.  At equal density the CSR
+kernel must lose to both structured kernels.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_csr_ablation
+
+
+def bench_ablation_csr(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_csr_ablation(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    assert result.extra["csr"] > result.extra["rowwise"]
+    assert result.extra["rowwise"] > result.extra["proposed"]
+    publish("ablation_csr", result.render(), capsys)

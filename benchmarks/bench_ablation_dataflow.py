@@ -1,0 +1,32 @@
+"""A1 — dataflow ablation for 'Row-Wise-SpMM' (Section IV-A).
+
+The paper tested A-, B- and C-stationary dataflows for the baseline and
+found B-stationary best.  C-stationary issues the fewest memory
+instructions but loses B locality, so it falls behind once B exceeds
+the L2 — which this bench demonstrates on a big-B early layer.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_dataflow_ablation
+from repro.kernels import Dataflow
+
+
+def bench_ablation_dataflow(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_dataflow_ablation(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    cycles = result.extra["cycles"]
+    if policy.name in ("small", "medium"):
+        # B spills the L2 at these scales: C-stationary must lose
+        assert cycles[Dataflow.C_STATIONARY] > cycles[Dataflow.B_STATIONARY]
+        assert result.extra["best"] is not Dataflow.C_STATIONARY
+    publish("ablation_dataflow", result.render(), capsys)

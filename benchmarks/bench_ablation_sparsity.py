@@ -1,0 +1,30 @@
+"""A5 — N:M pattern sweep (extension; the paper evaluates 1:4 and 2:4).
+
+Probes how the benefit scales with density: memory savings grow with N
+(more B loads replaced per row-tile) while the speedup stays in a band,
+because the per-non-zero instruction ratio is constant.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_sparsity_sweep
+
+
+def bench_ablation_sparsity(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_sparsity_sweep(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    speedups = result.extra["speedups"]
+    assert all(s > 1.0 for s in speedups.values())
+    # the paper's two patterns sit inside the sweep's band
+    assert 1.5 < speedups[(1, 4)] < 2.4
+    assert 1.5 < speedups[(2, 4)] < 2.4
+    publish("ablation_sparsity", result.render(), capsys)

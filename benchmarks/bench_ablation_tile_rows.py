@@ -1,0 +1,26 @@
+"""A3 — pre-loaded B-tile height L (Section III bounds L <= M*VL/N;
+Section IV-A uses L=16).  Larger tiles amortize index transforms and
+k-tile overheads; L beyond the bound would hold rows that can never be
+addressed (rejected by the API, see tests)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_tile_rows_ablation
+
+
+def bench_ablation_tile_rows(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_tile_rows_ablation(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    cycles = result.extra["cycles"]
+    # the paper's L=16 must be at least as good as the smallest tile
+    assert cycles[16] <= cycles[4] * 1.05
+    publish("ablation_tile_rows", result.render(), capsys)

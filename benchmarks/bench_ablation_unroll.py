@@ -1,0 +1,30 @@
+"""A2 — loop-unrolling ablation (Section IV-A applies x4 unrolling,
+after [17], and states both approaches benefit equally)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_unroll_ablation
+
+
+def bench_ablation_unroll(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_unroll_ablation(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    cycles = result.extra["cycles"]
+    base1, prop1 = cycles[1]
+    base4, prop4 = cycles[4]
+    assert base4 < base1 and prop4 < prop1, "x4 must beat x1 for both"
+    # 'both approaches benefit equally': gains within ~25% of each other
+    gain_base = base1 / base4
+    gain_prop = prop1 / prop4
+    assert abs(gain_base - gain_prop) / gain_base < 0.35, \
+        (gain_base, gain_prop)
+    publish("ablation_unroll", result.render(), capsys)

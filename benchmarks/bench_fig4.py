@@ -1,0 +1,38 @@
+"""E2/E3 — Fig. 4: per-layer ResNet50 speedups at 1:4 and 2:4 sparsity.
+
+Expected shape (paper Section IV-B): speedup > 1 for every layer,
+roughly 1.6x-2.15x, declining toward the late (small-B, many-filter)
+stages.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_fig4
+from repro.eval.paper import FIG4_RANGE
+
+
+def bench_fig4(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_fig4(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    for nm in ((1, 4), (2, 4)):
+        speedups = [s for _, s in result.speedups(nm)]
+        assert all(s > 1.0 for s in speedups), \
+            f"every layer must speed up at {nm}"
+        lo, hi = result.speedup_range(nm)
+        plo, phi = FIG4_RANGE[nm]
+        # shape check: the measured band overlaps the paper's band
+        assert lo < phi and hi > plo, (nm, lo, hi)
+        # trend check: early layers beat late layers on average
+        early = sum(speedups[:5]) / 5
+        late = sum(speedups[-5:]) / 5
+        assert early > late, "speedup should decline toward late layers"
+    publish("fig4", result.render(), capsys)

@@ -1,0 +1,32 @@
+"""E4 — Fig. 5: total-CNN speedups for ResNet50 / DenseNet121 /
+InceptionV3 at 1:4 and 2:4 sparsity.
+
+Paper: 'Proposed' wins for every CNN; averages 1.95x (1:4) and
+1.88x (2:4).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+from repro.eval import run_fig5
+from repro.eval.paper import MODELS
+
+
+def bench_fig5(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+
+    result = benchmark.pedantic(
+        lambda: run_fig5(policy=policy, config=config),
+        rounds=1, iterations=1)
+
+    for nm in ((1, 4), (2, 4)):
+        for model in MODELS:
+            assert result.totals[(model, nm)] > 1.0, (model, nm)
+        avg = result.average(nm)
+        # the averages must land in the neighbourhood the paper reports
+        assert 1.5 < avg < 2.4, (nm, avg)
+    publish("fig5", result.render(), capsys)

@@ -1,0 +1,31 @@
+"""E1 — Table I: the simulated processor configuration.
+
+Regenerates the configuration table and times a full processor
+instantiation (the cheapest 'benchmark' in the suite, kept so that every
+table and figure of the paper has exactly one bench target).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import publish  # noqa: E402
+
+from repro.arch import DecoupledProcessor, ProcessorConfig
+from repro.eval import run_table1
+
+
+def bench_table1(benchmark, capsys):
+    result = run_table1()
+
+    def instantiate():
+        proc = DecoupledProcessor(ProcessorConfig.paper_default())
+        return proc
+
+    proc = benchmark.pedantic(instantiate, rounds=3, iterations=1)
+    # the simulator must actually instantiate the Table I parameters
+    assert proc.config.scalar.issue_width == 8
+    assert proc.config.vector.vlmax == 16
+    assert proc.config.l2.size_bytes == 512 * 1024
+    assert proc.vrf.raw.shape == (32, 16)
+    publish("table1", result.render(), capsys)

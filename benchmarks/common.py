@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table/figure of the paper (or
+one ablation) and prints the rendered result alongside the
+pytest-benchmark timing.  Set ``REPRO_BENCH_POLICY`` to ``tiny`` /
+``small`` (default) / ``medium`` to trade fidelity against runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.arch import ProcessorConfig
+from repro.nn import POLICIES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def policy_from_env():
+    """The scale policy selected via REPRO_BENCH_POLICY (default: small)."""
+    name = os.environ.get("REPRO_BENCH_POLICY", "small").lower()
+    if name not in POLICIES:
+        raise ValueError(
+            f"REPRO_BENCH_POLICY={name!r} unknown; pick one of "
+            f"{sorted(POLICIES)}")
+    return POLICIES[name]
+
+
+def config_from_env() -> ProcessorConfig:
+    """Simulated processor used for scaled benchmark runs."""
+    if policy_from_env().name == "full":
+        return ProcessorConfig.paper_default()
+    return ProcessorConfig.scaled_default()
+
+
+def publish(name: str, text: str, capsys=None) -> None:
+    """Print a rendered result (bypassing capture) and archive it."""
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner)
+    else:  # pragma: no cover - fallback
+        print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

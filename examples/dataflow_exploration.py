@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Design-space exploration: dataflows, unrolling and tile height.
+
+Reproduces the Section IV-A design decisions as three small studies:
+
+* A1 — A-/B-/C-stationary dataflow for the baseline kernel,
+* A2 — loop unrolling x1/x2/x4 for both kernels,
+* A3 — pre-loaded B-tile height L for the vindexmac kernel,
+* A4 — unstructured CSR at equal density (the motivation experiment).
+
+Run:  python examples/dataflow_exploration.py [--policy tiny|small]
+"""
+
+import argparse
+
+from repro.arch import ProcessorConfig
+from repro.eval import (
+    run_csr_ablation,
+    run_dataflow_ablation,
+    run_tile_rows_ablation,
+    run_unroll_ablation,
+)
+from repro.nn import POLICIES
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="small",
+                        choices=sorted(POLICIES))
+    args = parser.parse_args()
+    policy = POLICIES[args.policy]
+    config = ProcessorConfig.scaled_default()
+
+    for runner in (run_dataflow_ablation, run_unroll_ablation,
+                   run_tile_rows_ablation, run_csr_ablation):
+        result = runner(policy=policy, config=config)
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Full reproduction driver: regenerate every table and figure.
+
+Runs Table I, Fig. 4, Fig. 5 and Fig. 6 in one go and prints the same
+rows/series the paper reports, annotated with the paper's numbers.
+With the default 'small' policy this takes a couple of minutes; use
+'--policy tiny' for a fast smoke pass or '--policy medium' for the
+highest-fidelity run.
+
+Run:  python examples/full_reproduction.py [--policy tiny|small|medium]
+"""
+
+import argparse
+import time
+
+from repro.arch import ProcessorConfig
+from repro.eval import run_fig4, run_fig5, run_fig6, run_table1
+from repro.nn import POLICIES
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="small",
+                        choices=["tiny", "small", "medium"])
+    args = parser.parse_args()
+    policy = POLICIES[args.policy]
+    config = ProcessorConfig.scaled_default()
+
+    print(run_table1().render())
+    for name, runner in (("Fig. 4", run_fig4), ("Fig. 5", run_fig5),
+                         ("Fig. 6", run_fig6)):
+        start = time.perf_counter()
+        if runner is run_fig4:
+            result = runner(policy=policy, config=config)
+        else:
+            result = runner(policy=policy, config=config)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}")
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s"
+              f" at policy '{policy.name}']")
+
+
+if __name__ == "__main__":
+    main()

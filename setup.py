@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline evaluation environment ships setuptools without ``wheel``, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets ``python setup.py develop`` (which pip falls back
+to) install the package in editable mode; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Closed-form cost model (exact instruction counts at any scale)."""
+
+from repro.analytic.costmodel import (
+    KernelCost,
+    SpmmGeometry,
+    indexmac_spmm_cost,
+    memory_access_reduction,
+    rowwise_spmm_cost,
+    spmm_cost,
+)
+from repro.analytic.cyclemodel import (
+    CycleEstimate,
+    estimate_cycles,
+    estimate_speedup,
+)
+from repro.analytic.validation import StreamCount, count_kernel, count_stream
+
+__all__ = [
+    "CycleEstimate",
+    "KernelCost",
+    "SpmmGeometry",
+    "StreamCount",
+    "count_kernel",
+    "count_stream",
+    "estimate_cycles",
+    "estimate_speedup",
+    "indexmac_spmm_cost",
+    "memory_access_reduction",
+    "rowwise_spmm_cost",
+    "spmm_cost",
+]

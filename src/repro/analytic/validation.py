@@ -1,0 +1,60 @@
+"""Cross-validation of the analytic model against generated streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import (
+    VECTOR_MEM_OPS,
+    VECTOR_OPS,
+    VECTOR_TO_SCALAR_OPS,
+    Op,
+)
+from repro.kernels.builder import KernelOptions
+from repro.kernels.registry import get_kernel
+
+
+@dataclass(frozen=True)
+class StreamCount:
+    """Instruction counts measured by draining a kernel generator."""
+
+    vector_loads: int
+    vector_stores: int
+    vector_arith: int
+    scalar_instructions: int
+    v2s_moves: int
+    macs: int
+
+    @property
+    def vector_mem_instrs(self) -> int:
+        return self.vector_loads + self.vector_stores
+
+
+def count_stream(stream) -> StreamCount:
+    """Drain ``stream`` and classify every instruction."""
+    vloads = vstores = varith = scalar = v2s = macs = 0
+    for instr in stream:
+        op = instr.op
+        if op in VECTOR_MEM_OPS:
+            if op is Op.VLE32:
+                vloads += 1
+            else:
+                vstores += 1
+        elif op in VECTOR_OPS:
+            varith += 1
+            if op in VECTOR_TO_SCALAR_OPS:
+                v2s += 1
+            if op in (Op.VFMACC_VF, Op.VFMACC_VV, Op.VINDEXMAC_VX):
+                macs += 1
+        else:
+            scalar += 1
+    return StreamCount(vector_loads=vloads, vector_stores=vstores,
+                       vector_arith=varith, scalar_instructions=scalar,
+                       v2s_moves=v2s, macs=macs)
+
+
+def count_kernel(kernel: str, staged, options: KernelOptions | None = None
+                 ) -> StreamCount:
+    """Counts from actually generating the kernel's stream."""
+    builder = get_kernel(kernel)
+    return count_stream(builder(staged, options or KernelOptions()))

@@ -1,0 +1,184 @@
+"""Processor configuration — Table I of the paper, as dataclasses.
+
+``ProcessorConfig.paper_default()`` reproduces the simulated setup of the
+paper exactly where the paper specifies a number, and uses conventional
+values (documented per field) where it does not.  All latencies are in
+core clock cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ScalarCoreConfig:
+    """The RV64GC out-of-order scalar core (Table I, "Scalar core")."""
+
+    issue_width: int = 8        #: 8-way issue (Table I)
+    rob_entries: int = 60       #: 60-entry ROB (Table I)
+    lsq_entries: int = 16       #: 16-entry LSQ (Table I)
+    int_alu_latency: int = 1    #: simple ALU ops
+    mul_latency: int = 3        #: integer multiply
+    branch_latency: int = 1     #: resolved branch (trace-driven: predicted)
+
+
+@dataclass(frozen=True)
+class VectorEngineConfig:
+    """The decoupled 512-bit, 16-lane vector engine (Table I)."""
+
+    vlen_bits: int = 512        #: 512-bit vector registers (Table I)
+    lanes: int = 16             #: 16 execution lanes (Table I)
+    sew_bits: int = 32          #: 32-bit elements (Table I)
+    num_vregs: int = 32         #: architectural vector registers (RVV)
+    queue_depth: int = 16       #: vector instruction queue entries
+    load_queues: int = 16       #: store queues to L2 (Table I)
+    store_queues: int = 16      #: load queues to L2 (Table I)
+    #: dispatch-to-vector-engine transfer latency (decoupling cost)
+    post_latency: int = 3
+    #: vector-to-scalar move return latency (vmv.x.s / vfmv.f.s), on top
+    #: of execution: the value must travel back to the scalar core.
+    v2s_latency: int = 4
+    alu_latency: int = 2        #: integer vector add/mul/logic
+    mac_latency: int = 6        #: fp32 fused multiply-accumulate
+    slide_latency: int = 2      #: vslide1down / vslidedown
+    move_latency: int = 1       #: vmv family
+    #: extra cycles vindexmac spends reading the indexed VRF operand via
+    #: the multiplexed read port (Section III-B: a 5-bit 2:1 mux in front
+    #: of an existing port — no extra pipeline stage is strictly needed,
+    #: so the paper's cost model implies 0; kept configurable).
+    indexmac_extra_latency: int = 0
+    agen_latency: int = 1       #: address generation for vector memory ops
+    #: cycles a unit-stride vector load occupies the in-order issue port:
+    #: address generation, bank arbitration and load-queue allocation for
+    #: a full line sustain less than one load per cycle in decoupled
+    #: implementations (Ara and Vitruvius sustain one line per 2-4 cycles).
+    vload_issue_occupancy: int = 3
+    #: same for vector stores (posted, cheaper than loads).
+    vstore_issue_occupancy: int = 2
+    #: fixed load-queue/return-path traversal latency added to vector
+    #: load completion on top of the L2/DRAM access time.
+    mem_overhead_latency: int = 4
+
+    @property
+    def vlmax(self) -> int:
+        """Elements per vector register at the configured element width."""
+        return self.vlen_bits // self.sew_bits
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level of set-associative cache.
+
+    ``bank_busy_cycles`` is the initiation interval of one bank: an SRAM
+    macro access plus the line readout (64 B at 16 B/cycle) keeps a bank
+    busy for several cycles, so streams whose stride maps to a single
+    bank (power-of-two row strides are the common offender) serialize.
+    """
+
+    size_bytes: int
+    ways: int
+    hit_latency: int
+    banks: int = 1
+    line_bytes: int = 64
+    bank_busy_cycles: int = 1
+    #: XOR-hash the set index (standard in modern L2s) so that the
+    #: power-of-two row strides of matrix codes do not camp on a few sets.
+    hashed_index: bool = True
+
+    def __post_init__(self):
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.ways != 0 or self.size_bytes % self.line_bytes != 0:
+            raise SimulationError(
+                f"cache geometry {self.size_bytes}B/{self.ways}w/"
+                f"{self.line_bytes}B does not divide evenly")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DDR4-2400-like main memory (Table I, "Main Memory").
+
+    The model charges a fixed access latency (lower on an open-row hit)
+    plus a bandwidth limit expressed as a minimum interval between line
+    transfers.  DDR4-2400 peaks at 19.2 GB/s; at a 2 GHz core clock a
+    64-byte line every ~6.7 cycles saturates the channel.
+    """
+
+    row_hit_latency: int = 45
+    row_miss_latency: int = 80
+    cycles_per_line: float = 6.7
+    row_bytes: int = 2048
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Complete simulated processor configuration (Table I)."""
+
+    scalar: ScalarCoreConfig = field(default_factory=ScalarCoreConfig)
+    vector: VectorEngineConfig = field(default_factory=VectorEngineConfig)
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, ways=4, hit_latency=2))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, ways=4, hit_latency=1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=512 * 1024, ways=8, hit_latency=8, banks=8,
+        bank_busy_cycles=4))
+    dram: DramConfig = field(default_factory=DramConfig)
+    memory_bytes: int = 64 * 1024 * 1024
+
+    @classmethod
+    def paper_default(cls) -> "ProcessorConfig":
+        """The exact Table I configuration."""
+        return cls()
+
+    @classmethod
+    def scaled_default(cls, l2_kib: int = 96) -> "ProcessorConfig":
+        """A proportionally shrunk memory system for scaled workloads.
+
+        The Python simulator runs dimension-scaled layer GEMMs (see
+        ``repro.nn.workload``); shrinking the caches by the same factor
+        keeps the "does the working set fit?" transitions of the paper's
+        full-size runs.  The scalar core, vector engine and latencies are
+        untouched.
+        """
+        base = cls()
+        return replace(
+            base,
+            l1d=CacheConfig(size_bytes=16 * 1024, ways=4, hit_latency=2),
+            l2=CacheConfig(size_bytes=l2_kib * 1024, ways=8,
+                           hit_latency=8, banks=8, bank_busy_cycles=4),
+        )
+
+    def table(self) -> str:
+        """Render the configuration as the Table I text block."""
+        s, v, dram = self.scalar, self.vector, self.dram
+        lines = [
+            "Scalar core",
+            f"  RISC-V ISA (RV64GC), {s.issue_width}-way-issue out-of-order,",
+            f"  {s.lsq_entries}-entry LSQ, {s.rob_entries}-entry ROB",
+            f"  L1I cache: {self.l1i.hit_latency}-cycle hit latency, "
+            f"{self.l1i.ways}-way, {self.l1i.size_bytes // 1024}KB",
+            f"  L1D cache: {self.l1d.hit_latency}-cycle hit latency, "
+            f"{self.l1d.ways}-way, {self.l1d.size_bytes // 1024}KB",
+            "Vector engine",
+            f"  {v.vlen_bits}-bit vector engine with {v.lanes}-lane "
+            f"configuration ({v.sew_bits}-bit elements x {v.lanes} lanes)",
+            f"  connected directly to the L2 cache through "
+            f"{v.store_queues} store queues and {v.load_queues} load queues",
+            "L2 cache",
+            f"  {self.l2.ways}-way, {self.l2.banks}-bank",
+            f"  {self.l2.hit_latency}-cycle hit latency, "
+            f"{self.l2.size_bytes // 1024}KB shared by both the big core "
+            "and the vector engine",
+            "Main Memory",
+            f"  DDR4-2400 ({dram.row_miss_latency}-cycle row miss, "
+            f"{dram.row_hit_latency}-cycle row hit, "
+            f"{dram.cycles_per_line} cycles/line bandwidth)",
+        ]
+        return "\n".join(lines)

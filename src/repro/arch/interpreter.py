@@ -1,0 +1,67 @@
+"""Branch-executing instruction-set simulator on top of the processor.
+
+The kernel builders emit dynamic traces directly (fast path), but the
+library also ships a classic ISS so that assembled
+:class:`~repro.isa.program.Program` objects — including loops written
+by hand — run with the same functional semantics and timing model.
+"""
+
+from __future__ import annotations
+
+from repro.arch.processor import DecoupledProcessor
+from repro.arch.stats import ExecutionStats
+from repro.errors import SimulationError
+from repro.isa.program import Program
+
+
+class Interpreter:
+    """Fetch/execute loop for assembled programs."""
+
+    def __init__(self, processor: DecoupledProcessor | None = None):
+        self.proc = processor or DecoupledProcessor()
+
+    def run(self, program: Program, max_instructions: int = 10_000_000,
+            start_label: str | None = None) -> ExecutionStats:
+        """Run ``program`` until the PC falls off the end.
+
+        Control flow follows the functional branch outcomes computed by
+        the processor.  ``jal``/``jalr`` link values are patched with
+        the true return address (the processor itself is PC-agnostic).
+        """
+        proc = self.proc
+        step = proc.step
+        instrs = program.instrs
+        count = len(instrs)
+        pc = program.index_of(start_label) if start_label else 0
+        executed = 0
+        while 0 <= pc < count:
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"instruction budget exhausted ({max_instructions}); "
+                    "infinite loop?")
+            instr = instrs[pc]
+            outcome = step(instr)
+            executed += 1
+            if outcome is None:
+                pc += 1
+                continue
+            if isinstance(outcome, int):  # taken branch: byte offset
+                if outcome % 4:
+                    raise SimulationError("misaligned branch target")
+                pc += outcome // 4
+                continue
+            kind, value = outcome
+            if kind == "jump":  # jal
+                if instr.rd:
+                    proc.xrf.write(instr.rd, program.base + 4 * (pc + 1))
+                pc += value // 4
+            elif kind == "jump_abs":  # jalr
+                if instr.rd:
+                    proc.xrf.write(instr.rd, program.base + 4 * (pc + 1))
+                target = value - program.base
+                if target % 4:
+                    raise SimulationError("misaligned jalr target")
+                pc = target // 4
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown control outcome {outcome!r}")
+        return proc.stats()

@@ -1,0 +1,62 @@
+"""Scalar architectural register files (functional values).
+
+Integer registers hold Python ints with RV64 two's-complement semantics
+applied lazily: values are stored as signed 64-bit quantities, and
+``x0`` reads as zero and ignores writes.  FP registers hold Python
+floats that always carry an exact float32 value (writers narrow).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def to_signed64(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 64-bit."""
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def to_unsigned64(value: int) -> int:
+    """The unsigned 64-bit bit pattern of ``value``."""
+    return value & _MASK64
+
+
+class IntRegisterFile:
+    """32 signed-64-bit integer registers; x0 is hardwired to zero."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values = [0] * 32
+
+    def read(self, reg: int) -> int:
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg:
+            self.values[reg] = to_signed64(value)
+
+    def reset(self) -> None:
+        for i in range(32):
+            self.values[i] = 0
+
+
+class FpRegisterFile:
+    """32 FP registers carrying float32-exact Python floats."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values = [0.0] * 32
+
+    def read(self, reg: int) -> float:
+        return self.values[reg]
+
+    def write(self, reg: int, value: float) -> None:
+        self.values[reg] = value
+
+    def reset(self) -> None:
+        for i in range(32):
+            self.values[i] = 0.0

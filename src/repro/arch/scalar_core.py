@@ -1,0 +1,60 @@
+"""Dispatch/commit approximation of the out-of-order scalar core.
+
+The trace-driven model does not rename registers or replay the issue
+queue; it captures the two front-end resources that actually throttle
+the kernels of this paper:
+
+* **dispatch bandwidth** — at most ``issue_width`` instructions enter
+  the window per cycle;
+* **ROB occupancy** — dispatch of instruction *k* cannot proceed until
+  instruction *k - rob_entries* has committed (commit is in-order).
+
+Out-of-order execution itself is modeled dataflow-style by the
+processor: each instruction begins when its operands are ready,
+regardless of its dispatch order relative to neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.arch.config import ScalarCoreConfig
+
+
+class DispatchUnit:
+    """Tracks dispatch cycles and the ROB window."""
+
+    def __init__(self, config: ScalarCoreConfig):
+        self.width = config.issue_width
+        self.rob_entries = config.rob_entries
+        self._cycle = 0.0
+        self._used = 0
+        self._rob: deque[float] = deque()
+        self._last_commit = 0.0
+
+    def next_dispatch(self) -> float:
+        """Claim a dispatch slot; returns the dispatch cycle."""
+        cycle = self._cycle
+        if self._used >= self.width:
+            cycle += 1
+        if len(self._rob) >= self.rob_entries:
+            oldest_commit = self._rob.popleft()
+            if oldest_commit > cycle:
+                cycle = oldest_commit
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 1
+        else:
+            self._used += 1
+        return cycle
+
+    def retire(self, complete: float) -> float:
+        """Record in-order commit of the instruction just dispatched."""
+        commit = complete if complete > self._last_commit else self._last_commit
+        self._last_commit = commit
+        self._rob.append(commit)
+        return commit
+
+    @property
+    def last_commit(self) -> float:
+        return self._last_commit

@@ -1,0 +1,92 @@
+"""Issue bookkeeping for the decoupled vector engine.
+
+The engine receives ("posts") vector instructions from the scalar core
+in program order through a vector instruction queue (VIQ), and issues
+them in order, one per cycle, once their vector operands are ready.
+Memory operations additionally contend for a fixed number of load/store
+queue entries toward the L2 (Table I: 16 + 16).
+
+This structure is what exposes memory latency in the baseline kernel:
+an instruction that cannot issue (e.g. a ``vfmacc`` waiting on a
+``vle32`` of a row of B) blocks every younger vector instruction,
+whereas ``vindexmac`` never waits on memory at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.arch.config import VectorEngineConfig
+
+
+class VectorEngine:
+    """Post/issue timing state of the decoupled vector unit."""
+
+    def __init__(self, config: VectorEngineConfig):
+        self.config = config
+        self._last_post = 0.0
+        self._last_issue = 0.0
+        self._viq: deque[float] = deque()  # issue cycle per queued instr
+        self._lq: deque[float] = deque()   # completion per in-flight load
+        self._sq: deque[float] = deque()   # completion per in-flight store
+
+    # ------------------------------------------------------------------
+    def post(self, ready: float) -> float:
+        """Send one vector instruction to the VIQ.
+
+        ``ready`` is when the scalar core has the instruction and its
+        scalar operands available.  Posting is in program order and
+        stalls when the VIQ is full.
+        """
+        t = ready
+        if len(self._viq) >= self.config.queue_depth:
+            oldest_issue = self._viq.popleft()
+            if oldest_issue > t:
+                t = oldest_issue
+        if self._last_post > t:
+            t = self._last_post
+        self._last_post = t
+        return t
+
+    def issue(self, post_cycle: float, operands_ready: float,
+              occupancy: int = 1) -> float:
+        """Issue the posted instruction in order; returns the issue cycle.
+
+        ``occupancy`` is how many cycles the instruction holds the issue
+        port (vector memory operations hold it for several; see
+        :class:`~repro.arch.config.VectorEngineConfig`).
+        """
+        t = post_cycle + self.config.post_latency
+        if operands_ready > t:
+            t = operands_ready
+        if self._last_issue + 1 > t:
+            t = self._last_issue + 1
+        self._last_issue = t + (occupancy - 1)
+        self._viq.append(t)
+        return t
+
+    # ------------------------------------------------------------------
+    def acquire_load_slot(self, at_cycle: float) -> float:
+        """Wait for a load-queue entry; returns when one is held."""
+        if len(self._lq) >= self.config.load_queues:
+            oldest = self._lq.popleft()
+            if oldest > at_cycle:
+                return oldest
+        return at_cycle
+
+    def load_inflight(self, completion: float) -> None:
+        self._lq.append(completion)
+
+    def acquire_store_slot(self, at_cycle: float) -> float:
+        if len(self._sq) >= self.config.store_queues:
+            oldest = self._sq.popleft()
+            if oldest > at_cycle:
+                return oldest
+        return at_cycle
+
+    def store_inflight(self, completion: float) -> None:
+        self._sq.append(completion)
+
+    @property
+    def last_issue(self) -> float:
+        return self._last_issue

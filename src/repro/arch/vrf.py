@@ -1,0 +1,59 @@
+"""The vector register file.
+
+Registers store raw 32-bit element bit patterns (``uint32``); integer and
+floating-point instructions reinterpret the same storage through views,
+exactly like hardware.  The file exposes the two aliased views once so
+the processor's hot loop never re-creates them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class VectorRegisterFile:
+    """``num_regs`` registers of ``vlmax`` 32-bit elements each."""
+
+    def __init__(self, num_regs: int, vlmax: int):
+        if num_regs <= 0 or vlmax <= 0:
+            raise SimulationError("bad VRF geometry")
+        self.num_regs = num_regs
+        self.vlmax = vlmax
+        self.raw = np.zeros((num_regs, vlmax), dtype=np.uint32)
+        #: the same storage, seen as two's-complement int32
+        self.i32 = self.raw.view(np.int32)
+        #: the same storage, seen as IEEE-754 binary32
+        self.f32 = self.raw.view(np.float32)
+
+    def write_u32(self, reg: int, values: np.ndarray) -> None:
+        """Overwrite the first ``len(values)`` elements of ``reg``."""
+        self.raw[reg, :len(values)] = values
+
+    def read_f32(self, reg: int) -> np.ndarray:
+        """A copy of ``reg`` as float32 (full register)."""
+        return self.f32[reg].copy()
+
+    def read_i32(self, reg: int) -> np.ndarray:
+        """A copy of ``reg`` as int32 (full register)."""
+        return self.i32[reg].copy()
+
+    def set_f32(self, reg: int, values) -> None:
+        """Test helper: fill ``reg`` with float32 ``values``."""
+        arr = np.asarray(values, dtype=np.float32)
+        if arr.size != self.vlmax:
+            raise SimulationError(
+                f"expected {self.vlmax} elements, got {arr.size}")
+        self.f32[reg, :] = arr
+
+    def set_i32(self, reg: int, values) -> None:
+        """Test helper: fill ``reg`` with int32 ``values``."""
+        arr = np.asarray(values, dtype=np.int32)
+        if arr.size != self.vlmax:
+            raise SimulationError(
+                f"expected {self.vlmax} elements, got {arr.size}")
+        self.i32[reg, :] = arr
+
+    def reset(self) -> None:
+        self.raw[:] = 0

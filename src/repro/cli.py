@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``      print the Table I processor configuration
+``fig4``        per-layer ResNet50 speedups (Fig. 4)
+``fig5``        total-CNN speedups (Fig. 5)
+``fig6``        normalized memory accesses (Fig. 6)
+``ablations``   the A1-A5 design-space studies
+``layers``      list a model's convolutions and GEMM shapes
+``encode``      assemble one instruction and show its encoding
+``quickcheck``  30-second end-to-end sanity run (tiny scale)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.config import ProcessorConfig
+from repro.eval.experiments import (
+    run_csr_ablation,
+    run_dataflow_ablation,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_sparsity_sweep,
+    run_table1,
+    run_tile_rows_ablation,
+    run_unroll_ablation,
+)
+from repro.eval.report import format_table
+from repro.isa.assembler import assemble
+from repro.isa.encoding import encode
+from repro.nn.models import get_model, list_models
+from repro.nn.workload import POLICIES
+
+
+def _add_policy_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default="small",
+                        choices=sorted(set(POLICIES) - {"full"}),
+                        help="workload scale policy (default: small)")
+
+
+def _policy_and_config(args):
+    policy = POLICIES[args.policy]
+    return policy, ProcessorConfig.scaled_default()
+
+
+def cmd_table1(args) -> int:
+    print(run_table1().render())
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    policy, config = _policy_and_config(args)
+    print(run_fig4(model=args.model, policy=policy, config=config).render())
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    policy, config = _policy_and_config(args)
+    print(run_fig5(policy=policy, config=config).render())
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    policy, config = _policy_and_config(args)
+    print(run_fig6(policy=policy, config=config).render())
+    return 0
+
+
+def cmd_ablations(args) -> int:
+    policy, config = _policy_and_config(args)
+    for runner in (run_dataflow_ablation, run_unroll_ablation,
+                   run_tile_rows_ablation, run_csr_ablation,
+                   run_sparsity_sweep):
+        print(runner(policy=policy, config=config).render())
+        print()
+    return 0
+
+
+def cmd_layers(args) -> int:
+    layers = get_model(args.model)
+    rows = [[l.name, f"{l.in_channels}->{l.out_channels}",
+             f"{l.kernel_h}x{l.kernel_w}/{l.stride}",
+             f"{l.in_h}x{l.in_w}", str(l.gemm)] for l in layers]
+    print(format_table(
+        ["layer", "channels", "kernel", "input", "GEMM (rows x K x N)"],
+        rows, title=f"{args.model}: {len(layers)} convolutions"))
+    return 0
+
+
+def cmd_encode(args) -> int:
+    program = assemble(args.instruction)
+    for instr in program:
+        word = encode(instr)
+        print(f"{word:#010x}  {word:032b}  {instr.asm()}")
+    return 0
+
+
+def cmd_quickcheck(args) -> int:
+    import numpy as np
+
+    from repro.eval.runner import run_spmm
+    from repro.sparse.prune import random_nm_matrix
+
+    rng = np.random.default_rng(0)
+    config = ProcessorConfig.scaled_default()
+    ok = True
+    for nm in ((1, 4), (2, 4)):
+        a = random_nm_matrix(16, 64, *nm, rng)
+        b = rng.standard_normal((64, 32)).astype(np.float32)
+        base = run_spmm(a, b, "rowwise-spmm", config=config)
+        prop = run_spmm(a, b, "indexmac-spmm", config=config)
+        speedup = base.cycles / prop.cycles
+        saved = 1 - prop.stats.vector_mem_instrs / \
+            base.stats.vector_mem_instrs
+        status = "ok" if speedup > 1.0 else "FAIL"
+        ok &= speedup > 1.0
+        print(f"{nm[0]}:{nm[1]}  speedup {speedup:.2f}x  "
+              f"mem saved {saved:.0%}  results verified  [{status}]")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IndexMAC reproduction (DATE 2024, arXiv:2311.07241)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I configuration").set_defaults(
+        fn=cmd_table1)
+
+    p = sub.add_parser("fig4", help="per-layer speedups (Fig. 4)")
+    p.add_argument("--model", default="resnet50", choices=list_models())
+    _add_policy_arg(p)
+    p.set_defaults(fn=cmd_fig4)
+
+    p = sub.add_parser("fig5", help="total-CNN speedups (Fig. 5)")
+    _add_policy_arg(p)
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="memory accesses (Fig. 6)")
+    _add_policy_arg(p)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("ablations", help="A1-A5 design-space studies")
+    _add_policy_arg(p)
+    p.set_defaults(fn=cmd_ablations)
+
+    p = sub.add_parser("layers", help="list a model's conv layers")
+    p.add_argument("model", choices=list_models())
+    p.set_defaults(fn=cmd_layers)
+
+    p = sub.add_parser("encode", help="assemble + encode instructions")
+    p.add_argument("instruction",
+                   help='e.g. "vindexmac.vx v8, v1, t0"')
+    p.set_defaults(fn=cmd_encode)
+
+    p = sub.add_parser("quickcheck", help="fast end-to-end sanity run")
+    p.set_defaults(fn=cmd_quickcheck)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

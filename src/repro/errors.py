@@ -1,0 +1,33 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into a 32-bit word."""
+
+
+class DecodingError(ReproError):
+    """A 32-bit word does not decode to a supported instruction."""
+
+
+class AssemblerError(ReproError):
+    """Assembly text could not be parsed or resolved."""
+
+
+class SparseFormatError(ReproError):
+    """A matrix violates the structured-sparsity format constraints."""
+
+
+class SimulationError(ReproError):
+    """The processor model was driven into an inconsistent state."""
+
+
+class KernelError(ReproError):
+    """A kernel was configured with unsupported parameters."""
+
+
+class WorkloadError(ReproError):
+    """A CNN layer or workload description is invalid."""

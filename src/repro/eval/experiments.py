@@ -1,0 +1,432 @@
+"""Experiment drivers: one per table/figure of the paper + ablations.
+
+Every driver returns a result object with a ``render()`` method that
+prints the same rows/series the paper reports.  Results of simulated
+layer comparisons are memoised per (model, sparsity, policy, config,
+options) within the process, so Fig. 4, 5 and 6 share their runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytic.costmodel import spmm_cost
+from repro.arch.config import ProcessorConfig
+from repro.eval import paper
+from repro.eval.comparison import (
+    LayerComparison,
+    aggregate_mem_ratio,
+    aggregate_speedup,
+    compare_layer,
+)
+from repro.eval.report import bar_chart, format_table, pct
+from repro.eval.runner import run_spmm
+from repro.kernels.builder import KernelOptions
+from repro.kernels.dataflow import Dataflow
+from repro.nn.models import MODEL_NAMES, get_model, unique_gemm_layers
+from repro.nn.workload import SMALL, ScalePolicy, make_layer_workload
+
+_VL = 16
+
+
+def paper_options(**overrides) -> KernelOptions:
+    """The kernel parameters of Section IV-A (L=16, unroll=4)."""
+    defaults = dict(unroll=paper.UNROLL, tile_rows=paper.TILE_ROWS,
+                    dataflow=Dataflow.B_STATIONARY)
+    defaults.update(overrides)
+    return KernelOptions(**defaults)
+
+
+_COMPARISON_CACHE: dict = {}
+
+
+def model_comparisons(model: str, nm: tuple[int, int],
+                      policy: ScalePolicy = SMALL,
+                      config: ProcessorConfig | None = None,
+                      options: KernelOptions | None = None,
+                      verify: bool = True) -> list[LayerComparison]:
+    """Simulate both designs on every unique layer GEMM of ``model``.
+
+    Layers with identical GEMM shapes are simulated once and carry a
+    multiplicity (see ``unique_gemm_layers``).
+    """
+    config = config or ProcessorConfig.scaled_default()
+    options = options or paper_options()
+    key = (model, nm, policy.name, config, options, verify)
+    if key in _COMPARISON_CACHE:
+        return _COMPARISON_CACHE[key]
+    result = []
+    for layer, mult in unique_gemm_layers(get_model(model)):
+        workload = make_layer_workload(layer, *nm, policy=policy,
+                                       tile_rows=options.tile_rows)
+        result.append(compare_layer(workload, options=options, config=config,
+                                    verify=verify, multiplicity=mult))
+    _COMPARISON_CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _COMPARISON_CACHE.clear()
+
+
+# ======================================================================
+# Table I
+# ======================================================================
+@dataclass(frozen=True)
+class Table1Result:
+    config: ProcessorConfig
+
+    def render(self) -> str:
+        return ("TABLE I — SIMULATED PROCESSOR CONFIGURATION\n"
+                + self.config.table())
+
+
+def run_table1(config: ProcessorConfig | None = None) -> Table1Result:
+    return Table1Result(config=config or ProcessorConfig.paper_default())
+
+
+# ======================================================================
+# Fig. 4 — per-layer speedups
+# ======================================================================
+@dataclass
+class Fig4Result:
+    model: str
+    policy: str
+    comparisons: dict[tuple[int, int], list[LayerComparison]]
+
+    def speedups(self, nm: tuple[int, int]) -> list[tuple[str, float]]:
+        return [(c.layer_name, c.speedup) for c in self.comparisons[nm]]
+
+    def speedup_range(self, nm: tuple[int, int]) -> tuple[float, float]:
+        values = [c.speedup for c in self.comparisons[nm]]
+        return min(values), max(values)
+
+    def render(self) -> str:
+        parts = []
+        for nm, comps in sorted(self.comparisons.items()):
+            lo, hi = self.speedup_range(nm)
+            plo, phi = paper.FIG4_RANGE.get(nm, (float("nan"),) * 2)
+            title = (f"Fig. 4 — per-layer speedup, {MODEL_NAMES[self.model]}"
+                     f" {nm[0]}:{nm[1]} (paper range {plo:.2f}x-{phi:.2f}x,"
+                     f" measured {lo:.2f}x-{hi:.2f}x)")
+            labels = [c.layer_name for c in comps]
+            values = [c.speedup for c in comps]
+            parts.append(bar_chart(labels, values, title=title,
+                                   reference=1.0))
+        return "\n\n".join(parts)
+
+
+def run_fig4(model: str = "resnet50", policy: ScalePolicy = SMALL,
+             config: ProcessorConfig | None = None,
+             options: KernelOptions | None = None,
+             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig4Result:
+    comparisons = {
+        nm: model_comparisons(model, nm, policy, config, options, verify)
+        for nm in sparsities
+    }
+    return Fig4Result(model=model, policy=policy.name,
+                      comparisons=comparisons)
+
+
+# ======================================================================
+# Fig. 5 — total-CNN speedups
+# ======================================================================
+@dataclass
+class Fig5Result:
+    policy: str
+    #: {(model, nm): total speedup}
+    totals: dict[tuple[str, tuple[int, int]], float]
+
+    def average(self, nm: tuple[int, int]) -> float:
+        values = [v for (m, s), v in self.totals.items() if s == nm]
+        return float(np.mean(values))
+
+    def render(self) -> str:
+        parts = []
+        sparsities = sorted({nm for _, nm in self.totals})
+        for nm in sparsities:
+            labels, values = [], []
+            for model in paper.MODELS:
+                if (model, nm) in self.totals:
+                    labels.append(MODEL_NAMES[model])
+                    values.append(self.totals[(model, nm)])
+            avg = self.average(nm)
+            ref = paper.FIG5_AVERAGE.get(nm, float("nan"))
+            title = (f"Fig. 5 — total speedup, {nm[0]}:{nm[1]} sparsity "
+                     f"(paper avg {ref:.2f}x, measured avg {avg:.2f}x)")
+            parts.append(bar_chart(labels, values, title=title,
+                                   reference=1.0))
+        return "\n\n".join(parts)
+
+
+def run_fig5(models=paper.MODELS, policy: ScalePolicy = SMALL,
+             config: ProcessorConfig | None = None,
+             options: KernelOptions | None = None,
+             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig5Result:
+    totals = {}
+    for model in models:
+        for nm in sparsities:
+            comps = model_comparisons(model, nm, policy, config, options,
+                                      verify)
+            totals[(model, nm)] = aggregate_speedup(comps)
+    return Fig5Result(policy=policy.name, totals=totals)
+
+
+# ======================================================================
+# Fig. 6 — normalized total memory accesses
+# ======================================================================
+@dataclass
+class Fig6Result:
+    policy: str
+    #: {(model, nm): proposed/baseline vector-memory-instruction ratio}
+    simulated: dict[tuple[str, tuple[int, int]], float]
+    #: same ratio from the exact analytic counts at FULL layer sizes
+    analytic_full: dict[tuple[str, tuple[int, int]], float]
+
+    def average_reduction(self, nm: tuple[int, int],
+                          source: str = "analytic") -> float:
+        table = self.analytic_full if source == "analytic" else self.simulated
+        values = [1 - v for (m, s), v in table.items() if s == nm]
+        return float(np.mean(values))
+
+    def render(self) -> str:
+        parts = []
+        sparsities = sorted({nm for _, nm in self.simulated})
+        for nm in sparsities:
+            rows = []
+            for model in paper.MODELS:
+                if (model, nm) not in self.simulated:
+                    continue
+                sim = self.simulated[(model, nm)]
+                ana = self.analytic_full[(model, nm)]
+                rows.append([MODEL_NAMES[model], sim, ana,
+                             pct(1 - ana)])
+            avg = self.average_reduction(nm)
+            ref = paper.FIG6_REDUCTION.get(nm, float("nan"))
+            title = (f"Fig. 6 — normalized memory accesses, "
+                     f"{nm[0]}:{nm[1]} (paper avg reduction {pct(ref)}, "
+                     f"measured {pct(avg)})")
+            parts.append(format_table(
+                ["CNN", "simulated ratio", "analytic full-size ratio",
+                 "reduction"], rows, title=title))
+        return "\n\n".join(parts)
+
+
+def _analytic_model_mem_ratio(model: str, nm: tuple[int, int],
+                              options: KernelOptions) -> float:
+    """Exact full-size Fig. 6 ratio from the closed-form cost model."""
+    base_total = prop_total = 0
+    lcm = options.tile_rows * nm[1] // int(np.gcd(options.tile_rows, nm[1]))
+    for layer, mult in unique_gemm_layers(get_model(model)):
+        g = layer.gemm
+        k_pad = -(-g.k // lcm) * lcm
+        n_pad = -(-g.n // _VL) * _VL
+        base = spmm_cost("rowwise-spmm", g.rows, k_pad, n_pad, *nm, options)
+        prop = spmm_cost("indexmac-spmm", g.rows, k_pad, n_pad, *nm, options)
+        base_total += mult * base.vector_mem_instrs
+        prop_total += mult * prop.vector_mem_instrs
+    return prop_total / base_total
+
+
+def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
+             config: ProcessorConfig | None = None,
+             options: KernelOptions | None = None,
+             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig6Result:
+    options = options or paper_options()
+    simulated, analytic = {}, {}
+    for model in models:
+        for nm in sparsities:
+            comps = model_comparisons(model, nm, policy, config, options,
+                                      verify)
+            simulated[(model, nm)] = aggregate_mem_ratio(comps)
+            analytic[(model, nm)] = _analytic_model_mem_ratio(
+                model, nm, options)
+    return Fig6Result(policy=policy.name, simulated=simulated,
+                      analytic_full=analytic)
+
+
+# ======================================================================
+# Ablations (Section IV-A claims and design-space checks)
+# ======================================================================
+@dataclass
+class AblationResult:
+    title: str
+    headers: list[str]
+    rows: list[list]
+    extra: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def _ablation_workload(nm=(1, 4), policy: ScalePolicy = SMALL,
+                       tile_rows: int = 16,
+                       layer_name: str = "conv3_1_3x3"):
+    """A representative ResNet50 layer (default: the conv3_x 3x3)."""
+    layer = next(l for l in get_model("resnet50") if l.name == layer_name)
+    return make_layer_workload(layer, *nm, policy=policy,
+                               tile_rows=tile_rows)
+
+
+def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
+                          config: ProcessorConfig | None = None,
+                          verify: bool = True) -> AblationResult:
+    """A1: B-stationary is the best dataflow for Row-Wise-SpMM (IV-A)."""
+    config = config or ProcessorConfig.scaled_default()
+    # dataflow choice only matters when B exceeds the L2: use the
+    # big-B early-network layer for this comparison
+    workload = _ablation_workload(nm, policy, layer_name="conv2_1_3x3")
+    rows = []
+    cycles = {}
+    for df in Dataflow:
+        opts = paper_options(dataflow=df)
+        run = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
+                       config, verify)
+        cycles[df] = run.stats.cycles
+        rows.append([f"{df.value}-stationary", run.stats.cycles,
+                     run.stats.vector_mem_instrs,
+                     run.stats.l2_misses])
+    best = min(cycles, key=cycles.get)
+    return AblationResult(
+        title=("A1 — Row-Wise-SpMM dataflow comparison "
+               f"(best: {best.value}-stationary)"),
+        headers=["dataflow", "cycles", "vector mem instrs", "L2 misses"],
+        rows=rows,
+        extra={"best": best, "cycles": cycles},
+    )
+
+
+def run_unroll_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
+                        config: ProcessorConfig | None = None,
+                        verify: bool = True) -> AblationResult:
+    """A2: loop unrolling helps both kernels (IV-A uses x4)."""
+    config = config or ProcessorConfig.scaled_default()
+    workload = _ablation_workload(nm, policy)
+    rows = []
+    speedups = {}
+    for unroll in (1, 2, 4):
+        opts = paper_options(unroll=unroll)
+        base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
+                        config, verify)
+        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
+                        config, verify)
+        speedup = base.stats.cycles / prop.stats.cycles
+        speedups[unroll] = (base.stats.cycles, prop.stats.cycles)
+        rows.append([f"x{unroll}", base.stats.cycles, prop.stats.cycles,
+                     speedup])
+    return AblationResult(
+        title="A2 — loop unrolling (both kernels benefit; paper uses x4)",
+        headers=["unroll", "Row-Wise-SpMM cycles", "Proposed cycles",
+                 "speedup"],
+        rows=rows,
+        extra={"cycles": speedups},
+    )
+
+
+def run_tile_rows_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
+                           config: ProcessorConfig | None = None,
+                           verify: bool = True) -> AblationResult:
+    """A3: pre-loaded tile height L (the paper uses L=16)."""
+    config = config or ProcessorConfig.scaled_default()
+    rows = []
+    cycles = {}
+    for tile_rows in (4, 8, 16):
+        workload = _ablation_workload(nm, policy, tile_rows=tile_rows)
+        opts = paper_options(tile_rows=tile_rows)
+        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
+                        config, verify)
+        cycles[tile_rows] = prop.stats.cycles
+        rows.append([f"L={tile_rows}", prop.stats.cycles,
+                     prop.stats.vector_mem_instrs])
+    return AblationResult(
+        title="A3 — pre-loaded B-tile rows (upper bound L <= M*VL/N)",
+        headers=["tile rows", "Proposed cycles", "vector mem instrs"],
+        rows=rows,
+        extra={"cycles": cycles},
+    )
+
+
+def run_sparsity_sweep(policy: ScalePolicy = SMALL,
+                       config: ProcessorConfig | None = None,
+                       patterns=((1, 8), (1, 4), (2, 8), (1, 2), (2, 4),
+                                 (4, 8)),
+                       verify: bool = True) -> AblationResult:
+    """A5: speedup and memory savings across N:M patterns.
+
+    Extension beyond the paper (which evaluates 1:4 and 2:4): the
+    memory-access reduction grows with density (more B loads replaced
+    per row-tile), while the speedup stays in a band because the
+    per-non-zero instruction ratio is constant.
+    """
+    config = config or ProcessorConfig.scaled_default()
+    rows = []
+    speedups = {}
+    for nm in patterns:
+        workload = _ablation_workload(nm, policy)
+        opts = paper_options()
+        base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
+                        config, verify)
+        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
+                        config, verify)
+        speedup = base.stats.cycles / prop.stats.cycles
+        reduction = 1 - prop.stats.vector_mem_instrs \
+            / base.stats.vector_mem_instrs
+        speedups[nm] = speedup
+        rows.append([f"{nm[0]}:{nm[1]}", f"{nm[0] / nm[1]:.0%}",
+                     base.stats.cycles, prop.stats.cycles, speedup,
+                     pct(reduction)])
+    return AblationResult(
+        title="A5 — N:M pattern sweep (extension; paper evaluates 1:4, 2:4)",
+        headers=["pattern", "density", "Row-Wise cycles", "Proposed cycles",
+                 "speedup", "mem saved"],
+        rows=rows,
+        extra={"speedups": speedups},
+    )
+
+
+def run_csr_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
+                     config: ProcessorConfig | None = None,
+                     verify: bool = True) -> AblationResult:
+    """A4: unstructured CSR at equal density vs the structured kernels."""
+    from repro.arch.processor import DecoupledProcessor
+    from repro.kernels.spmm_csr import (
+        build_csr_spmm,
+        read_csr_result,
+        stage_csr,
+    )
+    from repro.sparse.csr import CSRMatrix
+
+    config = config or ProcessorConfig.scaled_default()
+    workload = _ablation_workload(nm, policy)
+    opts = paper_options()
+    base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts, config,
+                    verify)
+    prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts, config,
+                    verify)
+    # identical matrix, unstructured format + kernel
+    csr = CSRMatrix.from_dense(workload.a.to_dense())
+    proc = DecoupledProcessor(config)
+    staged = stage_csr(proc.mem, csr, workload.b)
+    proc.run(build_csr_spmm(staged))
+    if verify:
+        ref = workload.a.to_dense().astype(np.float64) @ \
+            workload.b.astype(np.float64)
+        got = read_csr_result(proc.mem, staged)
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-3)
+    csr_stats = proc.stats()
+    rows = [
+        ["CSR row-wise (unstructured)", csr_stats.cycles,
+         csr_stats.cycles / prop.stats.cycles],
+        ["Row-Wise-SpMM (structured)", base.stats.cycles,
+         base.stats.cycles / prop.stats.cycles],
+        ["Proposed (vindexmac)", prop.stats.cycles, 1.0],
+    ]
+    return AblationResult(
+        title="A4 — unstructured CSR vs structured kernels (equal density)",
+        headers=["kernel", "cycles", "vs Proposed"],
+        rows=rows,
+        extra={"csr": csr_stats.cycles, "rowwise": base.stats.cycles,
+               "proposed": prop.stats.cycles},
+    )

@@ -1,0 +1,39 @@
+"""Reference numbers reported by the paper (Section IV-B).
+
+Used by EXPERIMENTS.md generation and by the benchmark harness to print
+paper-vs-measured comparisons.  All values are transcribed from the
+paper's text (the figures themselves are bar charts without a table).
+"""
+
+from __future__ import annotations
+
+#: Per-layer ResNet50 speedup range over 'Row-Wise-SpMM' (Fig. 4).
+FIG4_RANGE = {
+    (1, 4): (1.60, 2.15),
+    (2, 4): (1.63, 1.99),
+}
+
+#: Average total-CNN speedup across the three CNNs (Fig. 5).
+FIG5_AVERAGE = {
+    (1, 4): 1.95,
+    (2, 4): 1.88,
+}
+
+#: Abstract headline speedup range.
+HEADLINE_SPEEDUP = (1.80, 2.14)
+
+#: Average reduction in total memory accesses (Fig. 6).
+FIG6_REDUCTION = {
+    (1, 4): 0.48,
+    (2, 4): 0.65,
+}
+
+#: The sparsities evaluated by the paper.
+SPARSITIES = ((1, 4), (2, 4))
+
+#: The CNNs evaluated by the paper (registry names).
+MODELS = ("resnet50", "densenet121", "inception_v3")
+
+#: Evaluation kernel parameters (Section IV-A).
+TILE_ROWS = 16     #: L = 16 pre-loaded rows of B
+UNROLL = 4         #: 4 output rows per iteration (micro-kernel of [17])

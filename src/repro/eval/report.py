@@ -1,0 +1,66 @@
+"""Plain-text tables and bar charts for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 46, title: str | None = None,
+              reference: float | None = None,
+              unit: str = "x") -> str:
+    """Render a horizontal ASCII bar chart (one bar per label).
+
+    ``reference`` draws a marker column (e.g. the 1.0x baseline).
+    """
+    if not labels:
+        return title or ""
+    vmax = max(max(values), reference or 0.0) or 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for lab, val in zip(labels, values):
+        bar_len = max(0, round(val / vmax * width))
+        bar = "#" * bar_len
+        if reference is not None:
+            ref_pos = round(reference / vmax * width)
+            if ref_pos < width:
+                bar = (bar + " " * width)[:width]
+                marker = "|" if bar[ref_pos] == " " else bar[ref_pos]
+                bar = bar[:ref_pos] + marker + bar[ref_pos + 1:]
+                bar = bar.rstrip()
+        lines.append(f"{str(lab).rjust(label_w)} {bar} {val:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,66 @@
+"""Run kernels on the simulated processor and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ProcessorConfig
+from repro.arch.processor import DecoupledProcessor
+from repro.arch.stats import ExecutionStats
+from repro.errors import SimulationError
+from repro.kernels.builder import KernelOptions
+from repro.kernels.layout import read_result, stage_spmm
+from repro.kernels.registry import get_kernel
+from repro.nn.workload import LayerWorkload
+from repro.sparse.blocksparse import NMSparseMatrix
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Result of one kernel execution on the simulator."""
+
+    kernel: str
+    stats: ExecutionStats
+    verified: bool
+
+    @property
+    def cycles(self) -> float:
+        return self.stats.cycles
+
+
+def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
+             options: KernelOptions | None = None,
+             config: ProcessorConfig | None = None,
+             verify: bool = True) -> KernelRun:
+    """Stage ``C = A x B``, run ``kernel``, and optionally verify C.
+
+    Verification compares the simulated C against a float64 numpy
+    reference; a mismatch raises — a wrong result must never be
+    reported as a timing win.
+    """
+    proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
+    staged = stage_spmm(proc.mem, a, b)
+    builder = get_kernel(kernel)
+    proc.run(builder(staged, options or KernelOptions()))
+    verified = False
+    if verify:
+        got = read_result(proc.mem, staged)
+        ref = a.to_dense().astype(np.float64) @ b.astype(np.float64)
+        if not np.allclose(got, ref, rtol=1e-3, atol=1e-3):
+            worst = float(np.abs(got - ref).max())
+            raise SimulationError(
+                f"kernel {kernel!r} produced a wrong result "
+                f"(max abs error {worst:.3e})")
+        verified = True
+    return KernelRun(kernel=kernel, stats=proc.stats(), verified=verified)
+
+
+def run_layer(workload: LayerWorkload, kernel: str,
+              options: KernelOptions | None = None,
+              config: ProcessorConfig | None = None,
+              verify: bool = True) -> KernelRun:
+    """Run one CNN layer workload through ``kernel``."""
+    return run_spmm(workload.a, workload.b, kernel, options=options,
+                    config=config, verify=verify)

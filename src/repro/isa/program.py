@@ -1,0 +1,58 @@
+"""Program container used by the assembler and the ISS interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instr
+
+
+@dataclass
+class Program:
+    """An assembled program: a flat instruction list plus label metadata.
+
+    Instructions are notionally placed at ``base + 4 * index``; branch and
+    jump immediates are byte offsets relative to the branch instruction,
+    matching the hardware encoding.
+    """
+
+    instrs: list[Instr] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    base: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __getitem__(self, idx: int) -> Instr:
+        return self.instrs[idx]
+
+    def address_of(self, label: str) -> int:
+        """Byte address of ``label``."""
+        return self.base + 4 * self.labels[label]
+
+    def index_of(self, label: str) -> int:
+        """Instruction index of ``label``."""
+        return self.labels[label]
+
+    def words(self) -> list[int]:
+        """Encode the whole program into 32-bit instruction words."""
+        from repro.isa.encoding import encode
+
+        return [encode(i) for i in self.instrs]
+
+    def text(self) -> str:
+        """Disassemble the whole program with label annotations."""
+        from repro.isa.disassembler import format_instr
+
+        by_index: dict[int, list[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines: list[str] = []
+        for idx, instr in enumerate(self.instrs):
+            for name in sorted(by_index.get(idx, ())):
+                lines.append(f"{name}:")
+            lines.append(f"    {format_instr(instr)}")
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Register name tables for the RV64 scalar and RVV vector register files.
+
+The library addresses registers by integer index everywhere; these tables
+exist so that the assembler and disassembler can speak the conventional
+ABI names (``t0``, ``a1``, ``fa0``, ``v12``, ...).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+NUM_X_REGS = 32
+NUM_F_REGS = 32
+NUM_V_REGS = 32
+
+#: ABI names for the integer register file, indexed by register number.
+X_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: ABI names for the floating-point register file.
+F_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+
+def _build_lookup() -> dict[str, tuple[str, int]]:
+    table: dict[str, tuple[str, int]] = {}
+    for idx, name in enumerate(X_ABI_NAMES):
+        table[name] = ("x", idx)
+    for idx in range(NUM_X_REGS):
+        table[f"x{idx}"] = ("x", idx)
+    table["fp"] = ("x", 8)  # alias of s0
+    for idx, name in enumerate(F_ABI_NAMES):
+        table[name] = ("f", idx)
+    for idx in range(NUM_F_REGS):
+        table[f"f{idx}"] = ("f", idx)
+    for idx in range(NUM_V_REGS):
+        table[f"v{idx}"] = ("v", idx)
+    return table
+
+
+_LOOKUP = _build_lookup()
+
+
+def parse_register(name: str) -> tuple[str, int]:
+    """Resolve a register name to ``(file, index)``.
+
+    ``file`` is ``"x"``, ``"f"`` or ``"v"``.
+
+    >>> parse_register("t0")
+    ('x', 5)
+    >>> parse_register("v12")
+    ('v', 12)
+    """
+    key = name.strip().lower()
+    if key not in _LOOKUP:
+        raise AssemblerError(f"unknown register name: {name!r}")
+    return _LOOKUP[key]
+
+
+def x_reg(name: str) -> int:
+    """Resolve an integer-register name, rejecting other register files."""
+    file, idx = parse_register(name)
+    if file != "x":
+        raise AssemblerError(f"expected an integer register, got {name!r}")
+    return idx
+
+
+def f_reg(name: str) -> int:
+    """Resolve a floating-point-register name."""
+    file, idx = parse_register(name)
+    if file != "f":
+        raise AssemblerError(f"expected an FP register, got {name!r}")
+    return idx
+
+
+def v_reg(name: str) -> int:
+    """Resolve a vector-register name."""
+    file, idx = parse_register(name)
+    if file != "v":
+        raise AssemblerError(f"expected a vector register, got {name!r}")
+    return idx
+
+
+def x_name(idx: int) -> str:
+    """ABI name of integer register ``idx``."""
+    return X_ABI_NAMES[idx]
+
+
+def f_name(idx: int) -> str:
+    """ABI name of FP register ``idx``."""
+    return F_ABI_NAMES[idx]
+
+
+def v_name(idx: int) -> str:
+    """Name of vector register ``idx``."""
+    return f"v{idx}"

@@ -1,0 +1,51 @@
+"""Vectorized matrix-multiplication kernels (Algorithms 1-3 + CSR)."""
+
+from repro.kernels.asm_kernels import (
+    indexmac_spmm_assembly,
+    run_assembly_spmm,
+)
+from repro.kernels.builder import KernelOptions
+from repro.kernels.dataflow import Dataflow, max_tile_rows, validate_tile_rows
+from repro.kernels.dense_rowwise import build_dense_rowwise
+from repro.kernels.layout import (
+    StagedDense,
+    StagedSpMM,
+    read_dense_result,
+    read_result,
+    stage_dense,
+    stage_spmm,
+)
+from repro.kernels.registry import DISPLAY_NAMES, KERNELS, get_kernel
+from repro.kernels.spmm_csr import (
+    StagedCSR,
+    build_csr_spmm,
+    read_csr_result,
+    stage_csr,
+)
+from repro.kernels.spmm_indexmac import build_indexmac_spmm
+from repro.kernels.spmm_rowwise import build_rowwise_spmm
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "Dataflow",
+    "KERNELS",
+    "KernelOptions",
+    "StagedCSR",
+    "StagedDense",
+    "StagedSpMM",
+    "build_csr_spmm",
+    "build_dense_rowwise",
+    "build_indexmac_spmm",
+    "build_rowwise_spmm",
+    "get_kernel",
+    "indexmac_spmm_assembly",
+    "max_tile_rows",
+    "read_csr_result",
+    "read_dense_result",
+    "read_result",
+    "run_assembly_spmm",
+    "stage_csr",
+    "stage_dense",
+    "stage_spmm",
+    "validate_tile_rows",
+]

@@ -1,0 +1,108 @@
+"""Assembly-text kernels executed through the ISS.
+
+The trace-generating builders in this package are the fast path for
+experiments; this module provides the same Algorithm 3 kernel as a real
+*program* — assembly text with labels, a genuine backward branch for
+the row loop, and operands passed in argument registers — assembled by
+:mod:`repro.isa.assembler` and executed by the branch-following ISS.
+It demonstrates (and the tests verify) that the proposed instruction
+composes into working compiled-style code, closing the loop between the
+ISA layer and the kernel layer.
+
+Scope: one pre-loaded B tile (K = L rows) and one column tile
+(N = VL), i.e. the innermost macro-tile of the full kernel — which is
+exactly the granularity the paper's Algorithm 3 listing shows.
+
+Calling convention:
+
+=======  =============================================
+``a0``   address of the row's packed non-zero values
+``a1``   address of the row's raw column indices
+``a2``   address of the C row tile
+``a3``   address of the B tile (row-major, VL columns)
+``a4``   number of rows of A to process
+=======  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.layout import StagedSpMM
+
+
+def indexmac_spmm_assembly(staged: StagedSpMM, tile_rows: int = 16,
+                           vlmax: int = 16, num_vregs: int = 32) -> str:
+    """Assembly text of Algorithm 3 for a single-tile SpMM.
+
+    Requires ``K == tile_rows`` and ``N == vlmax`` (one macro-tile);
+    the Python builders handle the general tiled case.
+    """
+    if staged.k != tile_rows:
+        raise KernelError(
+            f"assembly kernel covers one k-tile: K={staged.k} != "
+            f"L={tile_rows}")
+    if staged.n_cols != vlmax:
+        raise KernelError(
+            f"assembly kernel covers one column tile: N={staged.n_cols}"
+            f" != VL={vlmax}")
+    vreg_base = num_vregs - tile_rows
+    slots = staged.slots_per_tile(tile_rows)
+    a_bump = 4 * slots
+
+    lines = [
+        "# Algorithm 3 (vindexmac SpMM), one B tile, real loops",
+        f"    li t1, {vlmax}",
+        "    vsetvli zero, t1, 208      # e32, m1",
+        f"    li t2, {staged.b_row_stride}",
+        "    mv t3, a3",
+        "# pre-load the B tile into the top of the vector register file",
+    ]
+    for row in range(tile_rows):
+        lines.append(f"    vle32.v v{vreg_base + row}, (t3)")
+        if row != tile_rows - 1:
+            lines.append("    add t3, t3, t2")
+    lines += [
+        f"    li t4, {vreg_base}         # col_idx -> vreg transform",
+        "row_loop:",
+        "    vle32.v v1, (a0)           # values[i, :]",
+        "    vle32.v v2, (a1)           # col_idx[i, :]",
+        "    vadd.vx v2, v2, t4",
+        "    vmv.v.i v8, 0              # C[i, :] = 0",
+    ]
+    for _ in range(slots):
+        lines += [
+            "    vmv.x.s t0, v2",
+            "    vindexmac.vx v8, v1, t0",
+            "    vslide1down.vx v1, v1, zero",
+            "    vslide1down.vx v2, v2, zero",
+        ]
+    lines += [
+        "    vse32.v v8, (a2)",
+        f"    addi a0, a0, {a_bump}",
+        f"    addi a1, a1, {a_bump}",
+        f"    addi a2, a2, {staged.c_row_stride}",
+        "    addi a4, a4, -1",
+        "    bne a4, zero, row_loop",
+    ]
+    return "\n".join(lines)
+
+
+def run_assembly_spmm(staged: StagedSpMM, processor,
+                      tile_rows: int = 16, vlmax: int = 16):
+    """Assemble the kernel, bind arguments, and run it on the ISS.
+
+    ``processor`` must own the memory that ``staged`` was written to.
+    Returns the :class:`~repro.arch.stats.ExecutionStats` of the run.
+    """
+    from repro.arch.interpreter import Interpreter
+    from repro.isa.assembler import assemble
+
+    text = indexmac_spmm_assembly(staged, tile_rows, vlmax)
+    program = assemble(text)
+    xrf = processor.xrf
+    xrf.write(10, staged.values_addr)        # a0
+    xrf.write(11, staged.col_idx_raw_addr)   # a1
+    xrf.write(12, staged.c_addr)             # a2
+    xrf.write(13, staged.b_addr)             # a3
+    xrf.write(14, staged.rows)               # a4
+    return Interpreter(processor).run(program)

@@ -1,0 +1,166 @@
+"""Shared emission helpers and register conventions for the kernels.
+
+The kernels are *trace generators*: Python loops drive the tiling and
+emit the exact dynamic RISC-V instruction stream, including scalar
+pointer updates and loop-control instructions, so the simulator charges
+the same front-end work a compiled binary would.
+
+Register conventions (shared by all SpMM kernels):
+
+====================  =========================================
+``t0..t2, t3``        per-unroll-lane index/address scratch
+``a0..a3``            values pointers (one per unrolled row)
+``a4..a7``            col_idx pointers
+``s2..s5``            C pointers
+``s6``                B pointer (tile pre-load / dense walk)
+``s7``                row-group loop counter
+``s8``                col_idx transform constant
+``s9``                B row stride (bytes)
+``s10``               A pointer bump per row group (bytes)
+``s11``               C pointer bump per row group (bytes)
+``fa0..fa3``          per-lane scalar value (baseline kernel)
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.isa.instructions import I, Instr
+from repro.kernels.dataflow import Dataflow
+
+# scalar register assignments (integer file indices)
+T = (5, 6, 7, 28)          # t0, t1, t2, t3 — per-lane scratch
+VAL_PTR = (10, 11, 12, 13)  # a0..a3
+IDX_PTR = (14, 15, 16, 17)  # a4..a7
+C_PTR = (18, 19, 20, 21)    # s2..s5
+B_PTR = 22                  # s6
+ROW_CTR = 23                # s7
+XFORM = 24                  # s8
+B_STRIDE = 25               # s9
+A_BUMP = 26                 # s10
+C_BUMP = 27                 # s11
+AVL = 29                    # t4 — vsetvli AVL scratch
+FA = (10, 11, 12, 13)       # fa0..fa3
+
+# vector register assignments
+V_VALUES = (0, 1, 2, 3)     # per-lane A values
+V_COLIDX = (4, 5, 6, 7)     # per-lane A column indices
+V_ACC = (8, 9, 10, 11)      # per-lane C accumulators
+V_BROW = (12, 13, 14, 15)   # baseline: loaded B rows / scratch
+V_SCRATCH_VAL = (16, 17, 18, 19)   # A-stationary scratch copies
+V_SCRATCH_IDX = (20, 21, 22, 23)
+
+MAX_UNROLL = 4
+
+
+@dataclass(frozen=True)
+class KernelOptions:
+    """Tunable parameters shared by the SpMM kernels.
+
+    ``unroll`` is the micro-kernel height of [17] (output rows produced
+    per loop iteration, the paper uses 4).  ``tile_rows`` is L, the
+    number of B rows per tile (the paper uses 16).  ``init_c_zero``
+    replaces the first k-tile's load of C with a register fill, as a
+    production kernel would.
+    """
+
+    unroll: int = 4
+    tile_rows: int = 16
+    dataflow: Dataflow = Dataflow.B_STATIONARY
+    init_c_zero: bool = True
+
+    def __post_init__(self):
+        if self.unroll not in (1, 2, 4):
+            raise KernelError(f"unroll must be 1, 2 or 4, not {self.unroll}")
+        if self.tile_rows <= 0:
+            raise KernelError("tile_rows must be positive")
+
+
+def li(reg: int, value: int):
+    """Materialise a 32-bit constant (1 or 2 instructions, like real code)."""
+    value = int(value)
+    if -2048 <= value < 2048:
+        yield I.li(reg, value)
+        return
+    if not -(1 << 31) <= value < (1 << 31):
+        raise KernelError(f"constant {value:#x} does not fit the li helper")
+    hi = (value + 0x800) >> 12
+    if hi == 0x80000:
+        # lui of 0x80000 sign-extends on RV64; such constants would need
+        # a longer sequence that no kernel address ever requires.
+        raise KernelError(f"constant {value:#x} does not fit lui+addi")
+    lo = value - (hi << 12)
+    yield I.lui(reg, hi & 0xFFFFF)
+    if lo:
+        yield I.addi(reg, reg, lo)
+
+
+def li_addr(reg: int, value: int):
+    """Materialise a pointer with the canonical two-instruction lui+addi
+    sequence (what non-relaxed compiled code emits for addresses)."""
+    if not 0 <= value < (1 << 31):
+        raise KernelError(f"address {value:#x} out of range")
+    hi = (value + 0x800) >> 12
+    if hi == 0x80000:
+        raise KernelError(f"address {value:#x} does not fit lui+addi")
+    lo = value - (hi << 12)
+    yield I.lui(reg, hi & 0xFFFFF)
+    yield I.addi(reg, reg, lo)
+
+
+def advance(reg: int, delta: int, bump_reg: int | None = None):
+    """Pointer bump: a single addi when it fits, else add of a bump reg."""
+    if -2048 <= delta < 2048:
+        yield I.addi(reg, reg, delta)
+    elif bump_reg is not None:
+        yield I.add(reg, reg, bump_reg)
+    else:
+        raise KernelError(
+            f"pointer bump {delta} needs a pre-loaded bump register")
+
+
+def set_vl(vl: int):
+    """Emit the vsetvli prologue selecting ``vl`` 32-bit elements."""
+    from repro.isa.encoding import vtype_e32m1
+
+    yield from li(AVL, vl)
+    yield I.vsetvli(0, AVL, vtype_e32m1())
+
+
+def row_groups(rows: int, unroll: int):
+    """Split ``rows`` into (start_row, group_size) unroll groups.
+
+    The main loop runs at the requested unroll; remainder rows run at
+    the largest unroll that still fits (4 -> 2 -> 1), as a compiled
+    micro-kernel family would.
+    """
+    start = 0
+    while rows - start >= unroll:
+        yield start, unroll
+        start += unroll
+    remaining = rows - start
+    for size in (2, 1):
+        while remaining >= size and size < unroll:
+            yield start, size
+            start += size
+            remaining -= size
+    if remaining:  # unroll == 1 handled above; defensive
+        yield start, remaining
+
+
+def loop_control(counter_reg: int):
+    """Counter decrement + backward branch of one loop iteration."""
+    yield I.addi(counter_reg, counter_reg, -1)
+    yield I.bne(counter_reg, 0, -4)  # offset is nominal in trace mode
+
+
+def count_instructions(stream) -> int:
+    """Drain a kernel generator, counting instructions (for tests)."""
+    return sum(1 for _ in stream)
+
+
+def materialize(stream) -> list[Instr]:
+    """Collect a kernel generator into a list (for small tests only)."""
+    return list(stream)

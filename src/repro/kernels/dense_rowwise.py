@@ -1,0 +1,69 @@
+"""Algorithm 1 — dense row-wise vectorized matrix multiplication.
+
+The starting point of the paper (Section II): every element of a row of
+A multiplies the whole corresponding row of B with a scalar-vector
+multiply-accumulate, and a vector slide exposes the next element.  No
+sparsity is exploited.  Included for completeness, as the common
+ancestor of Algorithms 2 and 3 and as a test oracle substrate.
+
+Unlike the sparse kernels, the loaded row of B is *shared* by all
+unrolled output rows (every output row consumes B rows in the same
+order), so one ``vle32`` serves the whole unroll group.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import I
+from repro.kernels import builder as bld
+from repro.kernels.builder import KernelOptions
+from repro.kernels.layout import StagedDense
+
+
+def build_dense_rowwise(staged: StagedDense,
+                        options: KernelOptions | None = None,
+                        vlmax: int = 16):
+    """Generate the dynamic instruction stream of Algorithm 1."""
+    opt = options or KernelOptions()
+    k_tiles = staged.k // vlmax
+    col_tiles = staged.n_cols // vlmax
+
+    yield from bld.set_vl(vlmax)
+    for jt in range(col_tiles):
+        col_off = jt * 4 * vlmax
+        for kt in range(k_tiles):
+            first_k = kt == 0 and opt.init_c_zero
+            a_off = kt * 4 * vlmax
+            for start, size in bld.row_groups(staged.rows, opt.unroll):
+                for r in range(size):
+                    yield from bld.li_addr(
+                        bld.VAL_PTR[r],
+                        staged.a_addr
+                        + (start + r) * staged.a_row_stride + a_off)
+                    yield I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r])
+                for r in range(size):
+                    yield from bld.li_addr(
+                        bld.C_PTR[r],
+                        staged.c_addr
+                        + (start + r) * staged.c_row_stride + col_off)
+                    if first_k:
+                        yield I.vmv_v_i(bld.V_ACC[r], 0)
+                    else:
+                        yield I.vle32(bld.V_ACC[r], bld.C_PTR[r])
+                yield from bld.li_addr(
+                    bld.B_PTR,
+                    staged.b_addr + kt * vlmax * staged.b_row_stride
+                    + col_off)
+                yield from bld.li(bld.B_STRIDE, staged.b_row_stride)
+                for _ in range(vlmax):
+                    yield I.vle32(bld.V_BROW[0], bld.B_PTR)
+                    yield I.add(bld.B_PTR, bld.B_PTR, bld.B_STRIDE)
+                    for r in range(size):
+                        yield I.vfmv_f_s(bld.FA[r], bld.V_VALUES[r])
+                    for r in range(size):
+                        yield I.vfmacc_vf(bld.V_ACC[r], bld.FA[r],
+                                          bld.V_BROW[0])
+                    for r in range(size):
+                        yield I.vslide1down_vx(bld.V_VALUES[r],
+                                               bld.V_VALUES[r], 0)
+                for r in range(size):
+                    yield I.vse32(bld.V_ACC[r], bld.C_PTR[r])

@@ -1,0 +1,28 @@
+"""Name-based kernel registry (used by the evaluation harness)."""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernels.spmm_indexmac import build_indexmac_spmm
+from repro.kernels.spmm_rowwise import build_rowwise_spmm
+
+#: The two designs under comparison in Section IV-A.
+KERNELS = {
+    "rowwise-spmm": build_rowwise_spmm,   # 'Row-Wise-SpMM' (Algorithm 2)
+    "indexmac-spmm": build_indexmac_spmm,  # 'Proposed'      (Algorithm 3)
+}
+
+#: Paper names for reports.
+DISPLAY_NAMES = {
+    "rowwise-spmm": "Row-Wise-SpMM",
+    "indexmac-spmm": "Proposed",
+}
+
+
+def get_kernel(name: str):
+    """Look up a kernel builder by registry name."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KernelError(f"unknown kernel {name!r} (known: {known})") from None

@@ -1,0 +1,105 @@
+"""Unstructured (CSR) row-wise SpMM — the motivation ablation.
+
+With unstructured sparsity (Fig. 1a) nothing bounds a column index, so
+pre-loading rows of B into the vector register file is futile (Section
+III) and per-non-zero metadata must come from memory through the scalar
+side.  The kernel below is the natural RVV implementation: per
+non-zero, a scalar FP load of the value, a scalar load of the index,
+address arithmetic, a vector load of the B row, and a multiply-acc —
+strictly more work per non-zero than either structured kernel, which is
+the point of the comparison (experiment A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.memory import FlatMemory
+from repro.errors import KernelError
+from repro.isa.instructions import I
+from repro.kernels import builder as bld
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class StagedCSR:
+    """Staged operands of an unstructured CSR x dense GEMM."""
+
+    rows: int
+    k: int
+    n_cols: int
+    data_addr: int
+    indices_addr: int
+    b_addr: int
+    c_addr: int
+    b_row_stride: int
+    c_row_stride: int
+    indptr: tuple[int, ...]
+
+
+def stage_csr(mem: FlatMemory, a: CSRMatrix, b: np.ndarray) -> StagedCSR:
+    """Write a CSR matrix and dense B into simulated memory."""
+    b = np.ascontiguousarray(b, dtype=np.float32)
+    if b.shape[0] != a.cols:
+        raise KernelError(
+            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}")
+    n_cols = b.shape[1]
+    if n_cols % 16:
+        raise KernelError("N must be a multiple of VL=16")
+    pad = 64
+    data_addr = mem.allocate(4 * max(a.nnz, 1) + pad)
+    mem.write_array(data_addr, a.data)
+    indices_addr = mem.allocate(4 * max(a.nnz, 1) + pad)
+    mem.write_array(indices_addr, a.indices)
+    b_addr = mem.allocate(4 * a.cols * n_cols + pad)
+    mem.write_array(b_addr, b)
+    c_addr = mem.allocate(4 * a.rows * n_cols + pad)
+    mem.write_array(c_addr, np.zeros((a.rows, n_cols), dtype=np.float32))
+    return StagedCSR(
+        rows=a.rows, k=a.cols, n_cols=n_cols,
+        data_addr=data_addr, indices_addr=indices_addr,
+        b_addr=b_addr, c_addr=c_addr,
+        b_row_stride=4 * n_cols, c_row_stride=4 * n_cols,
+        indptr=tuple(int(x) for x in a.indptr),
+    )
+
+
+def build_csr_spmm(staged: StagedCSR, vlmax: int = 16):
+    """Generate the dynamic instruction stream of the CSR kernel.
+
+    C-stationary over column tiles (the natural choice for CSR: each
+    output row tile is produced in one pass over the row's non-zeros).
+    """
+    col_tiles = staged.n_cols // vlmax
+    yield from bld.set_vl(vlmax)
+    for i in range(staged.rows):
+        lo, hi = staged.indptr[i], staged.indptr[i + 1]
+        nnz = hi - lo
+        for jt in range(col_tiles):
+            col_off = jt * 4 * vlmax
+            # b_base for this column tile and the B row stride
+            yield from bld.li_addr(bld.XFORM, staged.b_addr + col_off)
+            yield from bld.li(bld.B_STRIDE, staged.b_row_stride)
+            yield from bld.li_addr(bld.VAL_PTR[0], staged.data_addr + 4 * lo)
+            yield from bld.li_addr(bld.IDX_PTR[0], staged.indices_addr + 4 * lo)
+            yield I.vmv_v_i(bld.V_ACC[0], 0)
+            for _ in range(nnz):
+                yield I.flw(bld.FA[0], bld.VAL_PTR[0], 0)
+                yield I.lw(bld.T[0], bld.IDX_PTR[0], 0)
+                yield I.mul(bld.T[0], bld.T[0], bld.B_STRIDE)
+                yield I.add(bld.T[0], bld.T[0], bld.XFORM)
+                yield I.vle32(bld.V_BROW[0], bld.T[0])
+                yield I.vfmacc_vf(bld.V_ACC[0], bld.FA[0], bld.V_BROW[0])
+                yield I.addi(bld.VAL_PTR[0], bld.VAL_PTR[0], 4)
+                yield I.addi(bld.IDX_PTR[0], bld.IDX_PTR[0], 4)
+            yield from bld.li_addr(
+                bld.C_PTR[0], staged.c_addr + i * staged.c_row_stride
+                + col_off)
+            yield I.vse32(bld.V_ACC[0], bld.C_PTR[0])
+
+
+def read_csr_result(mem: FlatMemory, staged: StagedCSR) -> np.ndarray:
+    return mem.read_array(staged.c_addr, np.float32,
+                          (staged.rows, staged.n_cols))

@@ -1,0 +1,63 @@
+"""CNN substrate: model layer tables, im2col lowering, workloads."""
+
+from repro.nn.densenet import densenet121_classifier, densenet121_layers
+from repro.nn.im2col import (
+    conv2d_direct,
+    conv2d_via_gemm,
+    im2col,
+    weights_to_gemm_a,
+)
+from repro.nn.inception import inception_v3_classifier, inception_v3_layers
+from repro.nn.layers import ConvLayer, GemmShape, LinearLayer, conv
+from repro.nn.models import (
+    MODEL_NAMES,
+    get_model,
+    list_models,
+    total_macs,
+    unique_gemm_layers,
+)
+from repro.nn.resnet import resnet50_classifier, resnet50_layers
+from repro.nn.workload import (
+    FULL,
+    MEDIUM,
+    POLICIES,
+    SMALL,
+    TINY,
+    LayerWorkload,
+    ScalePolicy,
+    layer_seed,
+    make_layer_workload,
+    make_workload,
+)
+
+__all__ = [
+    "FULL",
+    "MEDIUM",
+    "MODEL_NAMES",
+    "POLICIES",
+    "SMALL",
+    "TINY",
+    "ConvLayer",
+    "GemmShape",
+    "LayerWorkload",
+    "LinearLayer",
+    "ScalePolicy",
+    "conv",
+    "conv2d_direct",
+    "conv2d_via_gemm",
+    "densenet121_classifier",
+    "densenet121_layers",
+    "get_model",
+    "im2col",
+    "inception_v3_classifier",
+    "inception_v3_layers",
+    "layer_seed",
+    "list_models",
+    "make_layer_workload",
+    "make_workload",
+    "resnet50_classifier",
+    "resnet50_layers",
+    "total_macs",
+    "unique_gemm_layers",
+    "weights_to_gemm_a",
+]

@@ -1,0 +1,44 @@
+"""DenseNet121 [32] layer table (ImageNet geometry, 224x224 input).
+
+Growth rate 32, bottleneck factor 4, dense blocks of [6, 12, 24, 16]
+layers, compression 0.5 in the transitions.  Every dense layer is a
+1x1 bottleneck conv (to 4*32 = 128 channels) followed by a 3x3 conv
+producing the 32 new feature maps; its input channel count grows by 32
+per preceding layer in the block.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import ConvLayer, LinearLayer, conv
+
+_GROWTH = 32
+_BN_FACTOR = 4
+_BLOCKS = (6, 12, 24, 16)
+
+
+def densenet121_layers() -> list[ConvLayer]:
+    """All convolutions of DenseNet121 in execution order."""
+    layers: list[ConvLayer] = [
+        conv("conv0", 3, 64, 224, 7, stride=2, pad=3),
+    ]
+    hw = 56  # after conv0 (/2) and the 3x3/2 max pool
+    channels = 64
+    bottleneck = _GROWTH * _BN_FACTOR
+    for block_idx, num_layers in enumerate(_BLOCKS, start=1):
+        for layer_idx in range(1, num_layers + 1):
+            cin = channels + (layer_idx - 1) * _GROWTH
+            prefix = f"block{block_idx}_layer{layer_idx}"
+            layers.append(conv(f"{prefix}_1x1", cin, bottleneck, hw, 1))
+            layers.append(conv(f"{prefix}_3x3", bottleneck, _GROWTH, hw, 3))
+        channels += num_layers * _GROWTH
+        if block_idx < len(_BLOCKS):
+            out = channels // 2  # compression 0.5
+            layers.append(
+                conv(f"transition{block_idx}_1x1", channels, out, hw, 1))
+            channels = out
+            hw //= 2  # 2x2 average pool
+    return layers
+
+
+def densenet121_classifier() -> LinearLayer:
+    return LinearLayer("classifier", 1024, 1000)

@@ -1,0 +1,89 @@
+"""Functional im2col lowering (the conv -> GEMM reference path).
+
+Used to validate the GEMM shape mapping and to build feature matrices
+for the example applications: ``conv2d_via_gemm`` must agree with the
+direct convolution for every layer geometry in the model tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.layers import ConvLayer
+
+
+def im2col(features: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Unfold ``features`` (Cin, H, W) into the dense B matrix.
+
+    Output shape: ``(Cin * kh * kw, out_h * out_w)`` — one column per
+    output pixel, matching Section IV-A's mapping (B holds the input
+    features and is treated as dense).
+    """
+    features = np.asarray(features, dtype=np.float32)
+    if features.shape != (layer.in_channels, layer.in_h, layer.in_w):
+        raise WorkloadError(
+            f"feature shape {features.shape} does not match layer "
+            f"{layer.name!r} ({layer.in_channels}, {layer.in_h}, "
+            f"{layer.in_w})")
+    padded = np.pad(features, ((0, 0), (layer.pad_h, layer.pad_h),
+                               (layer.pad_w, layer.pad_w)))
+    out_h, out_w = layer.out_h, layer.out_w
+    cols = np.empty(
+        (layer.in_channels * layer.kernel_h * layer.kernel_w,
+         out_h * out_w), dtype=np.float32)
+    row = 0
+    for c in range(layer.in_channels):
+        for dy in range(layer.kernel_h):
+            for dx in range(layer.kernel_w):
+                patch = padded[
+                    c,
+                    dy:dy + out_h * layer.stride:layer.stride,
+                    dx:dx + out_w * layer.stride:layer.stride,
+                ]
+                cols[row] = patch.reshape(-1)
+                row += 1
+    return cols
+
+
+def conv2d_direct(features: np.ndarray, weights: np.ndarray,
+                  layer: ConvLayer) -> np.ndarray:
+    """Naive direct convolution (float64 accumulate) as a test oracle.
+
+    ``weights`` has shape (Cout, Cin, kh, kw); returns (Cout, out_h,
+    out_w).
+    """
+    features = np.asarray(features, dtype=np.float32)
+    weights = np.asarray(weights, dtype=np.float32)
+    expected = (layer.out_channels, layer.in_channels,
+                layer.kernel_h, layer.kernel_w)
+    if weights.shape != expected:
+        raise WorkloadError(
+            f"weight shape {weights.shape} != {expected} for {layer.name!r}")
+    padded = np.pad(features, ((0, 0), (layer.pad_h, layer.pad_h),
+                               (layer.pad_w, layer.pad_w)))
+    out = np.zeros((layer.out_channels, layer.out_h, layer.out_w))
+    for oy in range(layer.out_h):
+        for ox in range(layer.out_w):
+            y = oy * layer.stride
+            x = ox * layer.stride
+            window = padded[:, y:y + layer.kernel_h, x:x + layer.kernel_w]
+            out[:, oy, ox] = np.tensordot(
+                weights.astype(np.float64), window.astype(np.float64),
+                axes=([1, 2, 3], [0, 1, 2]))
+    return out.astype(np.float32)
+
+
+def weights_to_gemm_a(weights: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Flatten conv weights into the GEMM's A matrix (rows = Cout)."""
+    weights = np.asarray(weights, dtype=np.float32)
+    return weights.reshape(layer.out_channels, -1)
+
+
+def conv2d_via_gemm(features: np.ndarray, weights: np.ndarray,
+                    layer: ConvLayer) -> np.ndarray:
+    """Convolution through the im2col GEMM path (float32, like the HW)."""
+    a = weights_to_gemm_a(weights, layer)
+    b = im2col(features, layer)
+    c = a @ b
+    return c.reshape(layer.out_channels, layer.out_h, layer.out_w)

@@ -1,0 +1,99 @@
+"""InceptionV3 [33] layer table (ImageNet geometry, 299x299 input).
+
+Follows the canonical torchvision structure: the convolutional stem,
+3x InceptionA (35x35), InceptionB (reduction to 17x17), 4x InceptionC,
+InceptionD (reduction to 8x8) and 2x InceptionE, with the factorised
+asymmetric kernels (1x7/7x1 at 17x17, 1x3/3x1 at 8x8) that make this
+model a stress test for GEMM-shape diversity.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import ConvLayer, LinearLayer, conv
+
+
+def _inception_a(layers, prefix, cin, hw, pool_features):
+    layers.append(conv(f"{prefix}_1x1", cin, 64, hw, 1))
+    layers.append(conv(f"{prefix}_5x5a", cin, 48, hw, 1))
+    layers.append(conv(f"{prefix}_5x5b", 48, 64, hw, 5, pad=2))
+    layers.append(conv(f"{prefix}_dbl_a", cin, 64, hw, 1))
+    layers.append(conv(f"{prefix}_dbl_b", 64, 96, hw, 3, pad=1))
+    layers.append(conv(f"{prefix}_dbl_c", 96, 96, hw, 3, pad=1))
+    layers.append(conv(f"{prefix}_pool", cin, pool_features, hw, 1))
+    return 64 + 64 + 96 + pool_features
+
+
+def _inception_b(layers, prefix, cin, hw):
+    layers.append(conv(f"{prefix}_3x3", cin, 384, hw, 3, stride=2, pad=0))
+    layers.append(conv(f"{prefix}_dbl_a", cin, 64, hw, 1))
+    layers.append(conv(f"{prefix}_dbl_b", 64, 96, hw, 3, pad=1))
+    layers.append(conv(f"{prefix}_dbl_c", 96, 96, hw, 3, stride=2, pad=0))
+    return 384 + 96 + cin  # plus the stride-2 pooled input
+
+
+def _inception_c(layers, prefix, cin, hw, c7):
+    layers.append(conv(f"{prefix}_1x1", cin, 192, hw, 1))
+    layers.append(conv(f"{prefix}_7x7a", cin, c7, hw, 1))
+    layers.append(conv(f"{prefix}_7x7b", c7, c7, hw, 1, kw=7))
+    layers.append(conv(f"{prefix}_7x7c", c7, 192, hw, 7, kw=1))
+    layers.append(conv(f"{prefix}_dbl_a", cin, c7, hw, 1))
+    layers.append(conv(f"{prefix}_dbl_b", c7, c7, hw, 7, kw=1))
+    layers.append(conv(f"{prefix}_dbl_c", c7, c7, hw, 1, kw=7))
+    layers.append(conv(f"{prefix}_dbl_d", c7, c7, hw, 7, kw=1))
+    layers.append(conv(f"{prefix}_dbl_e", c7, 192, hw, 1, kw=7))
+    layers.append(conv(f"{prefix}_pool", cin, 192, hw, 1))
+    return 192 * 4
+
+
+def _inception_d(layers, prefix, cin, hw):
+    layers.append(conv(f"{prefix}_3x3a", cin, 192, hw, 1))
+    layers.append(conv(f"{prefix}_3x3b", 192, 320, hw, 3, stride=2, pad=0))
+    layers.append(conv(f"{prefix}_7x7a", cin, 192, hw, 1))
+    layers.append(conv(f"{prefix}_7x7b", 192, 192, hw, 1, kw=7))
+    layers.append(conv(f"{prefix}_7x7c", 192, 192, hw, 7, kw=1))
+    layers.append(conv(f"{prefix}_7x7d", 192, 192, hw, 3, stride=2, pad=0))
+    return 320 + 192 + cin
+
+
+def _inception_e(layers, prefix, cin, hw):
+    layers.append(conv(f"{prefix}_1x1", cin, 320, hw, 1))
+    layers.append(conv(f"{prefix}_3x3a", cin, 384, hw, 1))
+    layers.append(conv(f"{prefix}_3x3b1", 384, 384, hw, 1, kw=3))
+    layers.append(conv(f"{prefix}_3x3b2", 384, 384, hw, 3, kw=1))
+    layers.append(conv(f"{prefix}_dbl_a", cin, 448, hw, 1))
+    layers.append(conv(f"{prefix}_dbl_b", 448, 384, hw, 3, pad=1))
+    layers.append(conv(f"{prefix}_dbl_c1", 384, 384, hw, 1, kw=3))
+    layers.append(conv(f"{prefix}_dbl_c2", 384, 384, hw, 3, kw=1))
+    layers.append(conv(f"{prefix}_pool", cin, 192, hw, 1))
+    return 320 + 768 + 768 + 192
+
+
+def inception_v3_layers() -> list[ConvLayer]:
+    """All convolutions of InceptionV3 in execution order."""
+    layers: list[ConvLayer] = []
+    layers.append(conv("stem_1", 3, 32, 299, 3, stride=2, pad=0))    # 149
+    layers.append(conv("stem_2", 32, 32, 149, 3, pad=0))             # 147
+    layers.append(conv("stem_3", 32, 64, 147, 3, pad=1))             # 147
+    # max pool 3x3/2 -> 73
+    layers.append(conv("stem_4", 64, 80, 73, 1, pad=0))
+    layers.append(conv("stem_5", 80, 192, 73, 3, pad=0))             # 71
+    # max pool 3x3/2 -> 35
+    cin, hw = 192, 35
+    cin = _inception_a(layers, "mixed5b", cin, hw, pool_features=32)
+    cin = _inception_a(layers, "mixed5c", cin, hw, pool_features=64)
+    cin = _inception_a(layers, "mixed5d", cin, hw, pool_features=64)
+    cin = _inception_b(layers, "mixed6a", cin, hw)
+    hw = 17
+    cin = _inception_c(layers, "mixed6b", cin, hw, c7=128)
+    cin = _inception_c(layers, "mixed6c", cin, hw, c7=160)
+    cin = _inception_c(layers, "mixed6d", cin, hw, c7=160)
+    cin = _inception_c(layers, "mixed6e", cin, hw, c7=192)
+    cin = _inception_d(layers, "mixed7a", cin, hw)
+    hw = 8
+    cin = _inception_e(layers, "mixed7b", cin, hw)
+    cin = _inception_e(layers, "mixed7c", cin, hw)
+    return layers
+
+
+def inception_v3_classifier() -> LinearLayer:
+    return LinearLayer("fc", 2048, 1000)

@@ -1,0 +1,117 @@
+"""Layer descriptors and the conv -> GEMM shape mapping.
+
+The paper maps every convolution to a sparse x dense matrix
+multiplication ``A x B`` [5]: matrix A holds the structured-sparse
+weights (one row per output channel, ``Cin*kh*kw`` columns) and matrix
+B the im2col-unfolded input features (``Cin*kh*kw`` rows, one column
+per output pixel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """The A x B shape a layer lowers to: (rows x k) x (k x n)."""
+
+    rows: int  #: rows of A = output channels
+    k: int     #: columns of A = rows of B = Cin * kh * kw
+    n: int     #: columns of B = output pixels
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulate count."""
+        return self.rows * self.k * self.n
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.k}x{self.n}"
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer of a CNN (inference, batch 1)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_h: int
+    in_w: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    pad_h: int = 0
+    pad_w: int = 0
+    groups: int = 1
+
+    def __post_init__(self):
+        if min(self.in_channels, self.out_channels, self.in_h, self.in_w,
+               self.kernel_h, self.kernel_w, self.stride) < 1:
+            raise WorkloadError(f"bad conv geometry in layer {self.name!r}")
+        if self.groups != 1:
+            raise WorkloadError(
+                "grouped convolutions are not used by the paper's CNNs")
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.pad_h - self.kernel_h) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.pad_w - self.kernel_w) // self.stride + 1
+
+    @property
+    def gemm(self) -> GemmShape:
+        """The sparse x dense GEMM this convolution lowers to."""
+        return GemmShape(
+            rows=self.out_channels,
+            k=self.in_channels * self.kernel_h * self.kernel_w,
+            n=self.out_h * self.out_w,
+        )
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_channels * self.in_channels * \
+            self.kernel_h * self.kernel_w
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.in_channels}->{self.out_channels} "
+                f"{self.kernel_h}x{self.kernel_w}/{self.stride} "
+                f"@{self.in_h}x{self.in_w} -> GEMM {self.gemm}")
+
+
+@dataclass(frozen=True)
+class LinearLayer:
+    """A fully-connected layer (kept in model tables for completeness;
+    the paper evaluates convolutional layers only)."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def gemm(self) -> GemmShape:
+        return GemmShape(rows=self.out_features, k=self.in_features, n=1)
+
+
+def conv(name: str, cin: int, cout: int, hw: int, k: int, stride: int = 1,
+         pad: int | None = None, in_w: int | None = None,
+         kw: int | None = None, pad_w: int | None = None) -> ConvLayer:
+    """Compact constructor used by the model tables.
+
+    ``hw`` is the input height (and width unless ``in_w`` is given);
+    ``k`` the kernel height (and width unless ``kw`` is given).  The
+    default padding is the 'same'-ish ``k // 2`` used by these CNNs.
+    """
+    kh = k
+    kw = k if kw is None else kw
+    ph = kh // 2 if pad is None else pad
+    pw = kw // 2 if pad_w is None else pad_w
+    return ConvLayer(
+        name=name, in_channels=cin, out_channels=cout,
+        in_h=hw, in_w=hw if in_w is None else in_w,
+        kernel_h=kh, kernel_w=kw, stride=stride, pad_h=ph, pad_w=pw,
+    )

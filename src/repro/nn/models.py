@@ -1,0 +1,62 @@
+"""Model registry for the three CNNs evaluated in the paper."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.nn.densenet import densenet121_layers
+from repro.nn.inception import inception_v3_layers
+from repro.nn.layers import ConvLayer
+from repro.nn.resnet import resnet50_layers
+
+_MODELS = {
+    "resnet50": resnet50_layers,
+    "densenet121": densenet121_layers,
+    "inception_v3": inception_v3_layers,
+}
+
+#: Paper display names.
+MODEL_NAMES = {
+    "resnet50": "ResNet50",
+    "densenet121": "DenseNet121",
+    "inception_v3": "InceptionV3",
+}
+
+
+def list_models() -> list[str]:
+    return sorted(_MODELS)
+
+
+def get_model(name: str) -> list[ConvLayer]:
+    """The convolution layers of ``name`` in execution order."""
+    key = name.lower().replace("-", "_")
+    if key not in _MODELS:
+        raise WorkloadError(
+            f"unknown model {name!r} (known: {', '.join(list_models())})")
+    return _MODELS[key]()
+
+
+def total_macs(name: str) -> int:
+    """Dense MAC count over all convolutions (sanity statistic)."""
+    return sum(layer.gemm.macs for layer in get_model(name))
+
+
+def unique_gemm_layers(layers: list[ConvLayer]) -> list[tuple[ConvLayer, int]]:
+    """Deduplicate layers by GEMM shape.
+
+    Returns ``(representative_layer, multiplicity)`` pairs in first-
+    occurrence order.  Layers with identical GEMM shapes behave
+    identically in the simulator (timing depends only on shape and
+    sparsity pattern statistics), so experiments simulate each unique
+    shape once and weight it by its multiplicity.
+    """
+    seen: dict[tuple, int] = {}
+    reps: list[ConvLayer] = []
+    for layer in layers:
+        key = (layer.gemm.rows, layer.gemm.k, layer.gemm.n)
+        if key in seen:
+            seen[key] += 1
+        else:
+            seen[key] = 1
+            reps.append(layer)
+    return [(rep, seen[(rep.gemm.rows, rep.gemm.k, rep.gemm.n)])
+            for rep in reps]

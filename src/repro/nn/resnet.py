@@ -1,0 +1,46 @@
+"""ResNet50 [31] layer table (ImageNet geometry, 224x224 input).
+
+Generated programmatically from the bottleneck structure of He et al.:
+stages of [3, 4, 6, 3] bottleneck blocks with base widths
+64/128/256/512, expansion 4, downsampling by the stride-2 3x3 conv of
+each stage's first block (plus a 1x1 projection on the shortcut).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import ConvLayer, LinearLayer, conv
+
+#: (blocks, base width) per stage; expansion is 4.
+_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+_EXPANSION = 4
+
+
+def resnet50_layers() -> list[ConvLayer]:
+    """All convolutions of ResNet50 in execution order."""
+    layers: list[ConvLayer] = [
+        conv("conv1", 3, 64, 224, 7, stride=2, pad=3),
+    ]
+    hw = 56  # after the stride-2 conv1 and the 3x3/2 max pool
+    in_ch = 64
+    for stage_idx, (blocks, width) in enumerate(_STAGES, start=2):
+        out_ch = width * _EXPANSION
+        for block in range(1, blocks + 1):
+            prefix = f"conv{stage_idx}_{block}"
+            stride = 2 if (block == 1 and stage_idx > 2) else 1
+            layers.append(conv(f"{prefix}_1x1a", in_ch, width, hw, 1))
+            layers.append(
+                conv(f"{prefix}_3x3", width, width, hw, 3, stride=stride))
+            mid_hw = hw // stride
+            layers.append(
+                conv(f"{prefix}_1x1b", width, out_ch, mid_hw, 1))
+            if block == 1:
+                layers.append(conv(f"{prefix}_proj", in_ch, out_ch, hw, 1,
+                                   stride=stride))
+            in_ch = out_ch
+            hw = mid_hw
+    return layers
+
+
+def resnet50_classifier() -> LinearLayer:
+    """The final fully-connected layer (not part of the evaluation)."""
+    return LinearLayer("fc", 2048, 1000)

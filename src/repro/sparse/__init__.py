@@ -1,0 +1,24 @@
+"""Structured (N:M) and unstructured (CSR) sparse matrix formats."""
+
+from repro.sparse.blocksparse import NMSparseMatrix, pad_columns
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.prune import (
+    magnitude_prune,
+    prune_to_nm,
+    random_nm_matrix,
+    random_nm_pattern,
+)
+from repro.sparse.stats import SparsitySummary, summarize, theoretical_density
+
+__all__ = [
+    "CSRMatrix",
+    "NMSparseMatrix",
+    "SparsitySummary",
+    "magnitude_prune",
+    "pad_columns",
+    "prune_to_nm",
+    "random_nm_matrix",
+    "random_nm_pattern",
+    "summarize",
+    "theoretical_density",
+]

@@ -1,0 +1,191 @@
+"""The N:M structured block-sparse matrix format of the paper (Fig. 1b).
+
+An ``N:M`` structured-sparse matrix constrains every aligned block of
+``M`` consecutive elements within a row to hold at most ``N`` non-zeros.
+The storage format keeps, for each block, exactly ``N`` slots of
+``(value, column index)`` pairs — blocks with fewer than ``N`` non-zeros
+are padded with explicit zero values (their index points at the block
+base, which is always legal).  Fixed-size blocks are what make the
+format hardware-friendly: the kernel loop over ``j`` in Algorithms 2/3
+has a constant trip count, and every column index is bounded by the
+block geometry, which is precisely the property that lets tiles of the
+dense operand stay resident in the vector register file (Section III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+
+class NMSparseMatrix:
+    """A two-dimensional float32 matrix stored in N:M block-sparse form.
+
+    Attributes
+    ----------
+    n, m:
+        The sparsity pattern: at most ``n`` non-zeros per aligned block
+        of ``m`` elements in a row.
+    shape:
+        Logical dense shape ``(rows, cols)``; ``cols`` must be a
+        multiple of ``m``.
+    values:
+        ``float32`` array of shape ``(rows, cols // m * n)`` — the
+        (padded) non-zero values, blocks concatenated left to right.
+    col_idx:
+        ``int32`` array of the same shape — the *global* column index
+        of each stored value.  Within a block, indices are strictly
+        increasing for real non-zeros; padding slots repeat the block
+        base index and carry a zero value.
+    """
+
+    __slots__ = ("n", "m", "shape", "values", "col_idx")
+
+    def __init__(self, n: int, m: int, shape: tuple[int, int],
+                 values: np.ndarray, col_idx: np.ndarray):
+        rows, cols = shape
+        if n < 1 or m < 1 or n > m:
+            raise SparseFormatError(f"invalid N:M pattern {n}:{m}")
+        if cols % m != 0:
+            raise SparseFormatError(
+                f"column count {cols} is not a multiple of the block size {m}")
+        slots = cols // m * n
+        if values.shape != (rows, slots) or col_idx.shape != (rows, slots):
+            raise SparseFormatError(
+                f"values/col_idx must have shape {(rows, slots)}, got "
+                f"{values.shape} and {col_idx.shape}")
+        self.n = n
+        self.m = m
+        self.shape = (rows, cols)
+        self.values = np.ascontiguousarray(values, dtype=np.float32)
+        self.col_idx = np.ascontiguousarray(col_idx, dtype=np.int32)
+        self._validate_indices()
+
+    # ------------------------------------------------------------------
+    def _validate_indices(self) -> None:
+        rows, cols = self.shape
+        blocks = cols // self.m
+        idx = self.col_idx.reshape(rows, blocks, self.n)
+        base = (np.arange(blocks, dtype=np.int64) * self.m)[None, :, None]
+        if np.any(idx < base) or np.any(idx >= base + self.m):
+            raise SparseFormatError(
+                "a column index escapes its block "
+                f"(block size {self.m}); structured sparsity is violated")
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def num_blocks_per_row(self) -> int:
+        return self.cols // self.m
+
+    @property
+    def slots_per_row(self) -> int:
+        """Stored (value, index) pairs per row, including padding."""
+        return self.num_blocks_per_row * self.n
+
+    @property
+    def nnz(self) -> int:
+        """Count of stored values that are actually non-zero."""
+        return int(np.count_nonzero(self.values))
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero elements relative to the dense size."""
+        return self.nnz / (self.rows * self.cols) if self.rows * self.cols else 0.0
+
+    @property
+    def storage_ratio(self) -> float:
+        """Stored slots (values+indices) relative to dense element count."""
+        total = self.rows * self.cols
+        return (2 * self.rows * self.slots_per_row) / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, n: int, m: int) -> "NMSparseMatrix":
+        """Compress a dense matrix that already satisfies the N:M pattern.
+
+        Raises :class:`SparseFormatError` if any aligned block of ``m``
+        elements holds more than ``n`` non-zeros.  Use
+        :func:`repro.sparse.prune.magnitude_prune` first if the matrix
+        is not structured yet.
+        """
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.ndim != 2:
+            raise SparseFormatError("expected a 2-D matrix")
+        rows, cols = dense.shape
+        if cols % m != 0:
+            raise SparseFormatError(
+                f"column count {cols} is not a multiple of the block size {m}"
+                " (pad the matrix first)")
+        blocks = cols // m
+        blocked = dense.reshape(rows, blocks, m)
+        nz_mask = blocked != 0
+        per_block = nz_mask.sum(axis=2)
+        if np.any(per_block > n):
+            r, b = np.argwhere(per_block > n)[0]
+            raise SparseFormatError(
+                f"block (row {r}, block {b}) has {per_block[r, b]} non-zeros,"
+                f" more than the {n}:{m} limit")
+
+        values = np.zeros((rows, blocks, n), dtype=np.float32)
+        col_idx = np.zeros((rows, blocks, n), dtype=np.int32)
+        base = np.arange(blocks, dtype=np.int32) * m
+        col_idx[:] = base[None, :, None]
+        # argsort puts the (at most n) non-zero lanes first, preserving
+        # left-to-right order among equals because the sort is stable.
+        order = np.argsort(~nz_mask, axis=2, kind="stable")[:, :, :n]
+        picked_vals = np.take_along_axis(blocked, order, axis=2)
+        picked_mask = np.take_along_axis(nz_mask, order, axis=2)
+        values[picked_mask] = picked_vals[picked_mask]
+        global_idx = base[None, :, None] + order.astype(np.int32)
+        col_idx[picked_mask] = global_idx[picked_mask]
+        return cls(n, m, (rows, cols),
+                   values.reshape(rows, blocks * n),
+                   col_idx.reshape(rows, blocks * n))
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense float32 matrix."""
+        rows, cols = self.shape
+        dense = np.zeros((rows, cols), dtype=np.float32)
+        row_ids = np.repeat(np.arange(rows), self.slots_per_row)
+        np.add.at(dense, (row_ids, self.col_idx.ravel()), self.values.ravel())
+        return dense
+
+    # ------------------------------------------------------------------
+    def block_occupancy(self) -> np.ndarray:
+        """Non-zero count per block, shape ``(rows, blocks)``."""
+        vals = self.values.reshape(self.rows, self.num_blocks_per_row, self.n)
+        return np.count_nonzero(vals, axis=2)
+
+    def __repr__(self) -> str:
+        return (f"NMSparseMatrix({self.n}:{self.m}, shape={self.shape}, "
+                f"nnz={self.nnz}, density={self.density:.3f})")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, NMSparseMatrix)
+                and self.n == other.n and self.m == other.m
+                and self.shape == other.shape
+                and np.array_equal(self.values, other.values)
+                and np.array_equal(self.col_idx, other.col_idx))
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("NMSparseMatrix is unhashable")
+
+
+def pad_columns(dense: np.ndarray, m: int) -> np.ndarray:
+    """Zero-pad a matrix on the right so its width is a multiple of ``m``."""
+    dense = np.asarray(dense)
+    cols = dense.shape[1]
+    pad = (-cols) % m
+    if pad == 0:
+        return dense
+    return np.pad(dense, ((0, 0), (0, pad)))

@@ -1,0 +1,88 @@
+"""Pruning dense matrices to N:M structured sparsity.
+
+The paper pruned ResNet50 / DenseNet121 / InceptionV3 with TensorFlow on
+ImageNet and fine-tuned the survivors.  Kernel execution time depends only
+on the *pattern geometry* (exactly which slots a block keeps is irrelevant
+to timing, and the value magnitudes never matter), so this module supplies
+the two standard pattern generators used for performance studies:
+
+* :func:`magnitude_prune` — keep the ``N`` largest-magnitude elements of
+  every aligned block of ``M`` (the standard one-shot N:M recipe, the same
+  selection rule the paper's TensorFlow flow applies before fine-tuning);
+* :func:`random_nm_pattern` / :func:`random_nm_matrix` — synthetic
+  matrices with exactly-N-per-block patterns for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.blocksparse import NMSparseMatrix
+
+
+def magnitude_prune(dense: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Return a copy of ``dense`` with only the top-``n`` magnitudes kept
+    in every aligned block of ``m`` elements along each row.
+
+    Ties are broken toward the leftmost element (stable selection), so
+    the result is deterministic.
+    """
+    dense = np.asarray(dense, dtype=np.float32)
+    if dense.ndim != 2:
+        raise SparseFormatError("expected a 2-D matrix")
+    rows, cols = dense.shape
+    if cols % m != 0:
+        raise SparseFormatError(
+            f"column count {cols} is not a multiple of the block size {m}")
+    if not 1 <= n <= m:
+        raise SparseFormatError(f"invalid N:M pattern {n}:{m}")
+    blocks = cols // m
+    blocked = dense.reshape(rows, blocks, m)
+    # Stable argsort of descending magnitude; keep the first n lanes.
+    order = np.argsort(-np.abs(blocked), axis=2, kind="stable")
+    keep = order[:, :, :n]
+    mask = np.zeros_like(blocked, dtype=bool)
+    np.put_along_axis(mask, keep, True, axis=2)
+    pruned = np.where(mask, blocked, np.float32(0.0))
+    return pruned.reshape(rows, cols)
+
+
+def prune_to_nm(dense: np.ndarray, n: int, m: int) -> NMSparseMatrix:
+    """Magnitude-prune ``dense`` and compress it to :class:`NMSparseMatrix`."""
+    return NMSparseMatrix.from_dense(magnitude_prune(dense, n, m), n, m)
+
+
+def random_nm_pattern(rows: int, cols: int, n: int, m: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """A boolean mask with exactly ``n`` True entries per aligned block.
+
+    Exactly-N blocks are the worst case for kernel time (every slot is a
+    real multiply) and match how the pruned CNN layers look after N:M
+    training, where the pattern is saturated almost everywhere.
+    """
+    if cols % m != 0:
+        raise SparseFormatError(
+            f"column count {cols} is not a multiple of the block size {m}")
+    if not 1 <= n <= m:
+        raise SparseFormatError(f"invalid N:M pattern {n}:{m}")
+    blocks = cols // m
+    scores = rng.random((rows, blocks, m))
+    keep = np.argsort(scores, axis=2)[:, :, :n]
+    mask = np.zeros((rows, blocks, m), dtype=bool)
+    np.put_along_axis(mask, keep, True, axis=2)
+    return mask.reshape(rows, cols)
+
+
+def random_nm_matrix(rows: int, cols: int, n: int, m: int,
+                     rng: np.random.Generator) -> NMSparseMatrix:
+    """A random N:M matrix with Gaussian non-zero values.
+
+    Values are drawn away from zero (|v| >= 0.05) so that a stored slot
+    is never accidentally zero — keeping ``nnz`` exact for tests.
+    """
+    mask = random_nm_pattern(rows, cols, n, m, rng)
+    magnitude = np.abs(rng.standard_normal((rows, cols))) + 0.05
+    sign = np.where(rng.random((rows, cols)) < 0.5, -1.0, 1.0)
+    dense = np.where(mask, magnitude * sign, 0.0).astype(np.float32)
+    return NMSparseMatrix.from_dense(dense, n, m)

@@ -1,0 +1,53 @@
+"""Descriptive statistics for sparse operands (used in reports and tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.blocksparse import NMSparseMatrix
+
+
+@dataclass(frozen=True)
+class SparsitySummary:
+    """Aggregate sparsity statistics of one N:M matrix."""
+
+    n: int
+    m: int
+    rows: int
+    cols: int
+    nnz: int
+    density: float
+    #: histogram of non-zeros per block: entry k = number of blocks with k
+    #: stored non-zeros, for k = 0..n.
+    block_occupancy_histogram: tuple[int, ...]
+    #: fraction of blocks that are fully occupied (k == n).
+    saturated_block_fraction: float
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+
+def summarize(matrix: NMSparseMatrix) -> SparsitySummary:
+    """Compute a :class:`SparsitySummary` for ``matrix``."""
+    occupancy = matrix.block_occupancy()
+    histogram = np.bincount(occupancy.ravel(), minlength=matrix.n + 1)
+    blocks = occupancy.size
+    saturated = float(histogram[matrix.n] / blocks) if blocks else 0.0
+    return SparsitySummary(
+        n=matrix.n,
+        m=matrix.m,
+        rows=matrix.rows,
+        cols=matrix.cols,
+        nnz=matrix.nnz,
+        density=matrix.density,
+        block_occupancy_histogram=tuple(int(x) for x in histogram),
+        saturated_block_fraction=saturated,
+    )
+
+
+def theoretical_density(n: int, m: int) -> float:
+    """Density of a saturated N:M pattern (every block holds n non-zeros)."""
+    return n / m

@@ -1,0 +1,85 @@
+"""Validation of the closed-form cycle model against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import SpmmGeometry, estimate_cycles, estimate_speedup
+from repro.arch import DecoupledProcessor, ProcessorConfig
+from repro.errors import KernelError
+from repro.kernels import (
+    KernelOptions,
+    build_indexmac_spmm,
+    build_rowwise_spmm,
+    stage_spmm,
+)
+from repro.sparse import random_nm_matrix
+
+CFG = ProcessorConfig.scaled_default()
+
+CASES = [
+    (16, 128, 256, (1, 4)),
+    (32, 256, 128, (1, 4)),
+    (32, 256, 128, (2, 4)),
+    (64, 512, 64, (2, 4)),
+]
+
+
+def simulate(kernel_builder, rows, k, n, nm, seed=0):
+    rng = np.random.default_rng(seed)
+    a = random_nm_matrix(rows, k, *nm, rng)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    proc = DecoupledProcessor(CFG)
+    staged = stage_spmm(proc.mem, a, b)
+    proc.run(kernel_builder(staged, KernelOptions()))
+    return proc.cycles
+
+
+@pytest.mark.parametrize("rows,k,n,nm", CASES)
+@pytest.mark.parametrize("kernel,builder",
+                         [("rowwise-spmm", build_rowwise_spmm),
+                          ("indexmac-spmm", build_indexmac_spmm)],
+                         ids=["rowwise", "indexmac"])
+def test_estimate_within_factor(rows, k, n, nm, kernel, builder):
+    """The closed-form estimate stays within 2x of the simulator."""
+    simulated = simulate(builder, rows, k, n, nm)
+    geom = SpmmGeometry(rows, k, n, *nm, KernelOptions())
+    estimate = estimate_cycles(kernel, geom, CFG).total
+    assert 0.5 < simulated / estimate < 2.0, (simulated, estimate)
+
+
+@pytest.mark.parametrize("rows,k,n,nm", CASES)
+def test_estimated_speedup_in_band(rows, k, n, nm):
+    """Estimated Proposed-vs-baseline speedups land in the paper band."""
+    geom = SpmmGeometry(rows, k, n, *nm, KernelOptions())
+    speedup = estimate_speedup(geom, CFG)
+    assert 1.3 < speedup < 2.6
+
+
+def test_estimate_components_positive():
+    geom = SpmmGeometry(16, 128, 64, 1, 4, KernelOptions())
+    est = estimate_cycles("rowwise-spmm", geom, CFG)
+    assert est.issue_cycles > 0
+    assert est.memory_cycles > 0
+    assert est.total == pytest.approx(
+        est.issue_cycles + est.bubble_cycles + est.memory_cycles)
+
+
+def test_estimate_scales_with_work():
+    small = SpmmGeometry(16, 128, 64, 1, 4, KernelOptions())
+    large = SpmmGeometry(32, 256, 128, 1, 4, KernelOptions())
+    for kernel in ("rowwise-spmm", "indexmac-spmm"):
+        assert estimate_cycles(kernel, large, CFG).total > \
+            estimate_cycles(kernel, small, CFG).total
+
+
+def test_estimate_full_size_layer_instant():
+    """Usable at the paper's unscaled sizes (where simulation is not)."""
+    geom = SpmmGeometry(64, 576, 3136, 1, 4, KernelOptions())
+    speedup = estimate_speedup(geom, ProcessorConfig.paper_default())
+    assert 1.3 < speedup < 2.6
+
+
+def test_unknown_kernel_rejected():
+    geom = SpmmGeometry(16, 128, 64, 1, 4, KernelOptions())
+    with pytest.raises(KernelError):
+        estimate_cycles("bogus", geom, CFG)

@@ -1,0 +1,185 @@
+"""Tests for the cache, DRAM and hierarchy timing models."""
+
+import pytest
+
+from repro.arch import CacheConfig, DramConfig, DramModel, SetAssociativeCache
+from repro.arch.config import ProcessorConfig
+from repro.arch.hierarchy import MemoryHierarchy
+from repro.errors import SimulationError
+
+
+class InstantMemory:
+    """Next-level stub with fixed latency and no bandwidth limit."""
+
+    def __init__(self, latency=100):
+        self.latency = latency
+        self.accesses = []
+
+    def access(self, addr, at_cycle, is_write):
+        self.accesses.append((addr, at_cycle, is_write))
+        return at_cycle + (1 if is_write else self.latency)
+
+
+def make_cache(size=1024, ways=2, hit=4, banks=1, next_level=None,
+               hashed=False):
+    cfg = CacheConfig(size_bytes=size, ways=ways, hit_latency=hit,
+                      banks=banks, hashed_index=hashed)
+    return SetAssociativeCache("T", cfg, next_level or InstantMemory())
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    t1 = cache.access(0, 0, False)
+    assert cache.misses == 1
+    assert t1 >= 100  # went to next level
+    t2 = cache.access(0, t1, False)
+    assert cache.hits == 1
+    assert t2 == t1 + 4  # hit latency
+
+
+def test_same_line_different_word_hits():
+    cache = make_cache()
+    cache.access(0, 0, False)
+    cache.access(60, 200, False)  # same 64B line
+    assert cache.hits == 1
+
+
+def test_lru_eviction():
+    # 1024B / 64B / 2 ways = 8 sets; lines 0, 8, 16 map to set 0
+    cache = make_cache()
+    cache.access(0 * 64, 0, False)
+    cache.access(8 * 64, 200, False)
+    cache.access(0 * 64, 400, False)      # touch line 0 -> line 8 is LRU
+    cache.access(16 * 64, 600, False)     # evicts line 8
+    assert cache.contains(0 * 64)
+    assert not cache.contains(8 * 64)
+    assert cache.contains(16 * 64)
+
+
+def test_dirty_eviction_writes_back():
+    nxt = InstantMemory()
+    cache = make_cache(next_level=nxt)
+    cache.access(0 * 64, 0, True)      # dirty line 0
+    cache.access(8 * 64, 200, False)
+    cache.access(16 * 64, 400, False)  # evicts dirty line 0
+    assert cache.writebacks == 1
+    writes = [a for a in nxt.accesses if a[2]]
+    assert len(writes) == 1
+    assert writes[0][0] == 0
+
+
+def test_clean_eviction_no_writeback():
+    cache = make_cache()
+    cache.access(0 * 64, 0, False)
+    cache.access(8 * 64, 200, False)
+    cache.access(16 * 64, 400, False)
+    assert cache.writebacks == 0
+
+
+def test_bank_serialization():
+    cache = make_cache(banks=1)
+    cache.access(0, 0, False)
+    cache.access(0, 100, False)
+    # two simultaneous hits to one bank serialize by one cycle
+    a = cache.access(0, 200, False)
+    b = cache.access(0, 200, False)
+    assert b == a + 1
+
+
+def test_multibank_parallelism():
+    cache = make_cache(banks=8)
+    cache.access(0 * 64, 0, False)
+    cache.access(1 * 64, 0, False)  # different bank: no serialization
+    a = cache.access(0 * 64, 200, False)
+    b = cache.access(1 * 64, 200, False)
+    assert a == b
+
+
+def test_hit_rate_and_flush():
+    cache = make_cache()
+    cache.access(0, 0, False)
+    cache.access(0, 100, False)
+    assert cache.hit_rate == pytest.approx(0.5)
+    cache.flush()
+    cache.access(0, 200, False)
+    assert cache.misses == 2
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(SimulationError):
+        CacheConfig(size_bytes=1000, ways=3, hit_latency=1)
+
+
+def test_hashed_index_breaks_stride_camping():
+    # 64 lines at a power-of-two stride of 8 camp on one set with modulo
+    # indexing (2-way: 62 evictions) but spread out with XOR hashing.
+    plain = make_cache(size=4096, ways=2, hashed=False)
+    hashed = make_cache(size=4096, ways=2, hashed=True)
+    for cache in (plain, hashed):
+        for i in range(32):
+            cache.access(i * 8 * 64, 1000 * i, False)
+        for i in range(32):
+            cache.access(i * 8 * 64, 1000 * (i + 32), False)
+    assert plain.hits == 0
+    assert hashed.hits > 16
+
+
+def test_dram_row_hit_vs_miss():
+    dram = DramModel(DramConfig(row_hit_latency=20, row_miss_latency=40,
+                                cycles_per_line=4, row_bytes=2048))
+    t1 = dram.access(0, 0, False)
+    assert t1 == 40  # first access misses the (closed) row
+    t2 = dram.access(64, t1, False)
+    assert t2 == t1 + 20  # same row
+    dram.access(1 << 20, t2, False)
+    assert dram.row_misses == 2
+    assert dram.row_hits == 1
+
+
+def test_dram_bandwidth_limit():
+    dram = DramModel(DramConfig(row_hit_latency=20, row_miss_latency=40,
+                                cycles_per_line=10, row_bytes=2048))
+    dram.access(0, 0, False)
+    t = dram.access(64, 0, False)  # issued at the same cycle
+    assert t == 10 + 20  # waits for the channel, then row hit
+
+
+def test_dram_write_is_posted():
+    dram = DramModel(DramConfig())
+    done = dram.access(0, 0, True)
+    assert done <= 2
+    assert dram.writes == 1
+
+
+def test_hierarchy_scalar_path_uses_l1():
+    hier = MemoryHierarchy(ProcessorConfig.paper_default())
+    hier.scalar_access(0, 8, 0, False)
+    assert hier.l1d.misses == 1
+    assert hier.l2.misses == 1
+    hier.scalar_access(0, 8, 1000, False)
+    assert hier.l1d.hits == 1
+    assert hier.l2.misses == 1  # second access never reaches L2
+
+
+def test_hierarchy_vector_path_bypasses_l1():
+    hier = MemoryHierarchy(ProcessorConfig.paper_default())
+    hier.vector_access(0, 64, 0, False)
+    assert hier.l1d.accesses == 0
+    assert hier.l2.misses == 1
+
+
+def test_hierarchy_spanning_access():
+    hier = MemoryHierarchy(ProcessorConfig.paper_default())
+    # 64 bytes starting at 32 spans two lines
+    hier.vector_access(32, 64, 0, False)
+    assert hier.l2.accesses == 2
+
+
+def test_hierarchy_reset_and_flush():
+    hier = MemoryHierarchy(ProcessorConfig.paper_default())
+    hier.vector_access(0, 64, 0, False)
+    hier.reset_stats()
+    assert hier.l2.accesses == 0
+    hier.flush()
+    hier.vector_access(0, 64, 0, False)
+    assert hier.l2.misses == 1

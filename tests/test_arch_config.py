@@ -1,0 +1,52 @@
+"""Tests for the Table I configuration dataclasses."""
+
+from repro.arch import ProcessorConfig
+
+
+def test_paper_default_matches_table1():
+    cfg = ProcessorConfig.paper_default()
+    # Scalar core (Table I)
+    assert cfg.scalar.issue_width == 8
+    assert cfg.scalar.rob_entries == 60
+    assert cfg.scalar.lsq_entries == 16
+    # L1 caches
+    assert cfg.l1i.size_bytes == 64 * 1024
+    assert cfg.l1i.ways == 4
+    assert cfg.l1i.hit_latency == 1
+    assert cfg.l1d.size_bytes == 64 * 1024
+    assert cfg.l1d.ways == 4
+    assert cfg.l1d.hit_latency == 2
+    # Vector engine: 512-bit, 16 lanes, 32-bit elements
+    assert cfg.vector.vlen_bits == 512
+    assert cfg.vector.lanes == 16
+    assert cfg.vector.sew_bits == 32
+    assert cfg.vector.vlmax == 16
+    assert cfg.vector.load_queues == 16
+    assert cfg.vector.store_queues == 16
+    # L2: 8-way, 8-bank, 8-cycle, 512KB shared
+    assert cfg.l2.ways == 8
+    assert cfg.l2.banks == 8
+    assert cfg.l2.hit_latency == 8
+    assert cfg.l2.size_bytes == 512 * 1024
+
+
+def test_table_rendering_mentions_key_numbers():
+    text = ProcessorConfig.paper_default().table()
+    for token in ("8-way-issue", "60-entry ROB", "16-entry LSQ",
+                  "512-bit", "16-lane", "512KB", "DDR4-2400"):
+        assert token in text, token
+
+
+def test_scaled_default_shrinks_memory_only():
+    cfg = ProcessorConfig.scaled_default()
+    full = ProcessorConfig.paper_default()
+    assert cfg.l2.size_bytes < full.l2.size_bytes
+    assert cfg.l1d.size_bytes < full.l1d.size_bytes
+    assert cfg.vector == full.vector
+    assert cfg.scalar == full.scalar
+    assert cfg.l2.hit_latency == full.l2.hit_latency
+
+
+def test_vlmax_follows_geometry():
+    cfg = ProcessorConfig.paper_default()
+    assert cfg.vector.vlmax == cfg.vector.vlen_bits // cfg.vector.sew_bits

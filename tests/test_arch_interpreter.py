@@ -1,0 +1,116 @@
+"""Tests for the branch-executing ISS."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DecoupledProcessor, Interpreter, ProcessorConfig
+from repro.errors import SimulationError
+from repro.isa import assemble
+
+
+def make_iss():
+    return Interpreter(DecoupledProcessor(ProcessorConfig.paper_default()))
+
+
+def test_countdown_loop():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 10
+        li a1, 0
+    loop:
+        addi a1, a1, 3
+        addi a0, a0, -1
+        bne a0, zero, loop
+    """)
+    stats = iss.run(program)
+    assert iss.proc.xrf.values[11] == 30
+    assert stats.branches == 10
+    assert stats.instructions == 2 + 3 * 10
+
+
+def test_forward_branch_skips():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 1
+        beq a0, zero, skip
+        li a1, 111
+    skip:
+        li a2, 222
+    """)
+    iss.run(program)
+    assert iss.proc.xrf.values[11] == 111
+    assert iss.proc.xrf.values[12] == 222
+
+
+def test_jal_and_jalr_function_call():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 5
+        jal ra, double
+        addi a2, a1, 100
+        jal zero, end
+    double:
+        add a1, a0, a0
+        jalr zero, ra, 0
+    end:
+        nop
+    """)
+    iss.run(program)
+    assert iss.proc.xrf.values[11] == 10
+    assert iss.proc.xrf.values[12] == 110
+
+
+def test_infinite_loop_detected():
+    iss = make_iss()
+    program = assemble("""
+    spin:
+        jal zero, spin
+    """)
+    with pytest.raises(SimulationError):
+        iss.run(program, max_instructions=1000)
+
+
+def test_vector_program_through_iss():
+    """A full Algorithm-3-style inner loop with a real backward branch."""
+    iss = make_iss()
+    proc = iss.proc
+    vl = proc.config.vector.vlmax
+
+    # v20/v21 hold two pre-loaded "B rows"; v1 = values, v2 = indices
+    proc.vrf.set_f32(20, np.full(vl, 2.0, dtype=np.float32))
+    proc.vrf.set_f32(21, np.full(vl, 3.0, dtype=np.float32))
+    values = np.zeros(vl, dtype=np.float32)
+    values[0], values[1] = 10.0, 100.0
+    proc.vrf.set_f32(1, values)
+    idx = np.zeros(vl, dtype=np.int32)
+    idx[0], idx[1] = 20, 21
+    proc.vrf.set_i32(2, idx)
+    proc.vrf.set_f32(8, np.zeros(vl, dtype=np.float32))
+
+    program = assemble("""
+        li a0, 2
+    inner:
+        vmv.x.s      t0, v2
+        vindexmac.vx v8, v1, t0
+        vslide1down.vx v1, v1, zero
+        vslide1down.vx v2, v2, zero
+        addi a0, a0, -1
+        bne a0, zero, inner
+    """)
+    stats = iss.run(program)
+    expected = np.full(vl, 10.0 * 2.0 + 100.0 * 3.0, dtype=np.float32)
+    np.testing.assert_array_equal(proc.vrf.f32[8], expected)
+    assert stats.vindexmac_count == 2
+    assert stats.vector_loads == 0  # no memory traffic at all
+
+
+def test_start_label():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 1
+    entry:
+        li a1, 2
+    """)
+    iss.run(program, start_label="entry")
+    assert iss.proc.xrf.values[10] == 0  # skipped
+    assert iss.proc.xrf.values[11] == 2

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "TABLE I" in out
+    assert "512KB" in out
+
+
+def test_layers(capsys):
+    code, out = run_cli(capsys, "layers", "resnet50")
+    assert code == 0
+    assert "53 convolutions" in out
+    assert "conv1" in out
+    assert "64x147x12544" in out
+
+
+def test_encode_single_instruction(capsys):
+    code, out = run_cli(capsys, "encode", "vindexmac.vx v8, v1, t0")
+    assert code == 0
+    assert "vindexmac.vx v8, v1, t0" in out
+    assert "0x" in out
+
+
+def test_encode_multiple_lines(capsys):
+    code, out = run_cli(capsys, "encode",
+                        "vmv.x.s t0, v2\nvindexmac.vx v8, v1, t0")
+    assert code == 0
+    assert out.count("0x") == 2
+
+
+def test_quickcheck(capsys):
+    code, out = run_cli(capsys, "quickcheck")
+    assert code == 0
+    assert "1:4" in out and "2:4" in out
+    assert "FAIL" not in out
+
+
+def test_fig4_tiny(capsys):
+    code, out = run_cli(capsys, "fig4", "--policy", "tiny")
+    assert code == 0
+    assert "Fig. 4" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_bad_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["layers", "vgg16"])

@@ -1,0 +1,198 @@
+"""Integration tests for the experiment drivers (TINY scale)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ProcessorConfig
+from repro.eval import (
+    aggregate_mem_ratio,
+    aggregate_speedup,
+    clear_cache,
+    compare_layer,
+    model_comparisons,
+    paper_options,
+    run_csr_ablation,
+    run_dataflow_ablation,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_spmm,
+    run_table1,
+    run_tile_rows_ablation,
+    run_unroll_ablation,
+)
+from repro.kernels import Dataflow
+from repro.nn import TINY, get_model, make_layer_workload
+from repro.sparse import random_nm_matrix
+
+CFG = ProcessorConfig.scaled_default()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_paper_options_defaults():
+    opts = paper_options()
+    assert opts.unroll == 4
+    assert opts.tile_rows == 16
+    assert opts.dataflow is Dataflow.B_STATIONARY
+    narrow = paper_options(unroll=1)
+    assert narrow.unroll == 1
+
+
+def test_run_spmm_verifies():
+    rng = np.random.default_rng(0)
+    a = random_nm_matrix(4, 32, 1, 4, rng)
+    b = rng.standard_normal((32, 16)).astype(np.float32)
+    run = run_spmm(a, b, "indexmac-spmm", config=CFG)
+    assert run.verified
+    assert run.cycles > 0
+    unverified = run_spmm(a, b, "indexmac-spmm", config=CFG, verify=False)
+    assert not unverified.verified
+
+
+def test_compare_layer_speedup_above_one():
+    layer = get_model("resnet50")[2]
+    wl = make_layer_workload(layer, 1, 4, policy=TINY)
+    comp = compare_layer(wl, config=CFG)
+    assert comp.speedup > 1.0
+    assert 0.0 < comp.mem_ratio < 1.0
+    assert comp.mem_reduction == pytest.approx(1 - comp.mem_ratio)
+    assert comp.weight == comp.scale_factor  # multiplicity defaults to 1
+
+
+def test_model_comparisons_cached():
+    first = model_comparisons("resnet50", (1, 4), TINY, CFG)
+    second = model_comparisons("resnet50", (1, 4), TINY, CFG)
+    assert first is second  # memoised
+    assert len(first) == 20  # unique ResNet50 GEMM shapes
+
+
+def test_aggregates():
+    comps = model_comparisons("resnet50", (1, 4), TINY, CFG)
+    speedup = aggregate_speedup(comps)
+    ratio = aggregate_mem_ratio(comps)
+    assert speedup > 1.0
+    assert 0.0 < ratio < 1.0
+
+
+def test_table1_renders_paper_numbers():
+    text = run_table1().render()
+    assert "TABLE I" in text
+    assert "512KB" in text
+    assert "16-lane" in text
+
+
+def test_fig4_structure_and_render():
+    result = run_fig4(policy=TINY, config=CFG, sparsities=((1, 4),))
+    speedups = result.speedups((1, 4))
+    assert len(speedups) == 20
+    assert all(s > 1.0 for _, s in speedups)
+    lo, hi = result.speedup_range((1, 4))
+    assert 1.0 < lo <= hi
+    text = result.render()
+    assert "Fig. 4" in text and "conv1" in text
+
+
+def test_fig5_totals_and_render():
+    result = run_fig5(models=("resnet50",), policy=TINY, config=CFG)
+    assert result.totals[("resnet50", (1, 4))] > 1.0
+    assert result.totals[("resnet50", (2, 4))] > 1.0
+    assert result.average((1, 4)) > 1.0
+    assert "Fig. 5" in result.render()
+
+
+def test_fig6_ratios_and_render():
+    result = run_fig6(models=("resnet50",), policy=TINY, config=CFG)
+    sim = result.simulated[("resnet50", (1, 4))]
+    ana = result.analytic_full[("resnet50", (1, 4))]
+    assert 0.0 < sim < 1.0
+    assert 0.0 < ana < 1.0
+    # full-size analytic reductions should approximate the paper values
+    red14 = result.average_reduction((1, 4))
+    red24 = result.average_reduction((2, 4))
+    assert 0.42 < red14 < 0.55
+    assert 0.60 < red24 < 0.70
+    assert "Fig. 6" in result.render()
+
+
+def test_dataflow_ablation_prefers_b_or_a_stationary():
+    """Once B exceeds the L2, C-stationary pays for its lost B locality
+    (Section IV-A: B-stationary gives the best execution time)."""
+    from repro.nn import SMALL
+
+    result = run_dataflow_ablation(policy=SMALL, config=CFG)
+    assert len(result.rows) == 3
+    cycles = result.extra["cycles"]
+    assert result.extra["best"] in (Dataflow.B_STATIONARY,
+                                    Dataflow.A_STATIONARY)
+    assert cycles[Dataflow.C_STATIONARY] > cycles[Dataflow.B_STATIONARY]
+    assert "A1" in result.render()
+    assert set(cycles) == set(Dataflow)
+
+
+def test_unroll_ablation_x4_fastest():
+    result = run_unroll_ablation(policy=TINY, config=CFG)
+    cycles = result.extra["cycles"]
+    base1, prop1 = cycles[1]
+    base4, prop4 = cycles[4]
+    assert base4 < base1  # unrolling helps the baseline
+    assert prop4 < prop1  # and the proposed kernel
+    assert "A2" in result.render()
+
+
+def test_tile_rows_ablation():
+    result = run_tile_rows_ablation(policy=TINY, config=CFG)
+    cycles = result.extra["cycles"]
+    assert set(cycles) == {4, 8, 16}
+    # L=16 (the paper's choice) must not lose to smaller tiles
+    assert cycles[16] <= cycles[4] * 1.05
+    assert "A3" in result.render()
+
+
+def test_csr_ablation_structured_wins():
+    result = run_csr_ablation(policy=TINY, config=CFG)
+    assert result.extra["csr"] > result.extra["rowwise"]
+    assert result.extra["rowwise"] > result.extra["proposed"]
+    assert "A4" in result.render()
+
+
+@pytest.mark.parametrize("model", ["densenet121", "inception_v3"])
+def test_fig4_other_models_similar_behaviour(model):
+    """Section IV-B: 'Similar behavior is observed in the per-layer
+    execution times of the other two examined CNNs' — every layer of
+    DenseNet121 and InceptionV3 must also speed up."""
+    result = run_fig4(model=model, policy=TINY, config=CFG,
+                      sparsities=((1, 4),))
+    speedups = [s for _, s in result.speedups((1, 4))]
+    assert len(speedups) > 30  # many unique shapes
+    assert all(s > 1.0 for s in speedups)
+
+
+def test_layer_comparison_energy_ratio():
+    """With enough A rows to amortize the tile preload the proposed
+    kernel also wins on energy (at TINY scale, 8 rows, the full-tile
+    preload can touch B rows the baseline never needs, so this uses the
+    benchmark-scale workload)."""
+    from repro.nn import SMALL
+
+    layer = next(l for l in get_model("resnet50")
+                 if l.name == "conv3_1_3x3")
+    wl = make_layer_workload(layer, 1, 4, policy=SMALL)
+    comp = compare_layer(wl, config=CFG)
+    assert 0.0 < comp.energy_ratio < 1.0
+
+
+def test_sparsity_sweep():
+    from repro.eval import run_sparsity_sweep
+
+    result = run_sparsity_sweep(policy=TINY, config=CFG,
+                                patterns=((1, 4), (2, 4), (1, 2)))
+    speedups = result.extra["speedups"]
+    assert set(speedups) == {(1, 4), (2, 4), (1, 2)}
+    assert all(s > 1.0 for s in speedups.values())
+    assert "A5" in result.render()

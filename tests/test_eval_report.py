@@ -1,0 +1,46 @@
+"""Tests for the report rendering helpers."""
+
+from repro.eval.report import bar_chart, format_table, pct
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, 2 rows
+    assert all(len(line) == len(lines[0]) or "|" in line for line in lines)
+    assert "long-name" in text
+    assert "2.500" in text
+
+
+def test_format_table_title_and_large_numbers():
+    text = format_table(["n"], [[1234567]], title="T")
+    assert text.startswith("T\n")
+    assert "1,234,567" in text
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 20  # the max fills the width
+    assert lines[0].count("#") == 10
+
+
+def test_bar_chart_reference_marker():
+    # the reference marker renders in the whitespace beyond short bars
+    text = bar_chart(["a", "b"], [0.5, 2.0], width=20, reference=1.0)
+    assert "|" in text.splitlines()[0]
+
+
+def test_bar_chart_title_and_unit():
+    text = bar_chart(["x"], [1.5], title="Speedups", unit="x")
+    assert text.startswith("Speedups")
+    assert "1.50x" in text
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], [], title="nothing") == "nothing"
+
+
+def test_pct():
+    assert pct(0.48) == "48.0%"
+    assert pct(0.651) == "65.1%"

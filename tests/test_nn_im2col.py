@@ -1,0 +1,72 @@
+"""im2col lowering must agree with direct convolution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn import (
+    conv,
+    conv2d_direct,
+    conv2d_via_gemm,
+    im2col,
+    weights_to_gemm_a,
+)
+
+
+def rand_case(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    feats = rng.standard_normal(
+        (layer.in_channels, layer.in_h, layer.in_w)).astype(np.float32)
+    weights = rng.standard_normal(
+        (layer.out_channels, layer.in_channels,
+         layer.kernel_h, layer.kernel_w)).astype(np.float32)
+    return feats, weights
+
+
+@pytest.mark.parametrize("layer", [
+    conv("1x1", 4, 6, 8, 1),
+    conv("3x3", 3, 5, 9, 3),
+    conv("3x3s2", 3, 5, 9, 3, stride=2),
+    conv("5x5", 2, 4, 11, 5, pad=2),
+    conv("7x7s2", 3, 8, 15, 7, stride=2, pad=3),
+    conv("1x7", 4, 4, 9, 1, kw=7),
+    conv("7x1", 4, 4, 9, 7, kw=1),
+    conv("3x3p0", 3, 4, 9, 3, pad=0),
+], ids=lambda l: l.name)
+def test_gemm_equals_direct_conv(layer):
+    feats, weights = rand_case(layer)
+    via_gemm = conv2d_via_gemm(feats, weights, layer)
+    direct = conv2d_direct(feats, weights, layer)
+    np.testing.assert_allclose(via_gemm, direct, rtol=1e-4, atol=1e-4)
+
+
+def test_im2col_shape_matches_gemm():
+    layer = conv("t", 6, 10, 12, 3, stride=2)
+    feats, _ = rand_case(layer)
+    b = im2col(feats, layer)
+    assert b.shape == (layer.gemm.k, layer.gemm.n)
+
+
+def test_im2col_identity_1x1():
+    """A 1x1 conv's B matrix is just the flattened feature map."""
+    layer = conv("id", 3, 3, 4, 1)
+    feats, _ = rand_case(layer)
+    b = im2col(feats, layer)
+    np.testing.assert_array_equal(b, feats.reshape(3, -1))
+
+
+def test_weights_to_gemm_a_layout():
+    layer = conv("w", 2, 3, 4, 3)
+    _, weights = rand_case(layer)
+    a = weights_to_gemm_a(weights, layer)
+    assert a.shape == (3, 2 * 9)
+    np.testing.assert_array_equal(a[1], weights[1].reshape(-1))
+
+
+def test_im2col_validates_shape():
+    layer = conv("v", 3, 4, 8, 3)
+    with pytest.raises(WorkloadError):
+        im2col(np.zeros((3, 7, 8), dtype=np.float32), layer)
+    with pytest.raises(WorkloadError):
+        conv2d_direct(np.zeros((3, 8, 8), dtype=np.float32),
+                      np.zeros((4, 3, 2, 2), dtype=np.float32), layer)

@@ -1,0 +1,118 @@
+"""Tests for the CNN layer tables and shape arithmetic."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn import (
+    ConvLayer,
+    conv,
+    get_model,
+    list_models,
+    total_macs,
+    unique_gemm_layers,
+)
+
+
+def test_list_models():
+    assert list_models() == ["densenet121", "inception_v3", "resnet50"]
+    with pytest.raises(WorkloadError):
+        get_model("vgg16")
+
+
+def test_model_name_normalisation():
+    assert len(get_model("ResNet50")) == len(get_model("resnet50"))
+    assert len(get_model("inception-v3")) == len(get_model("inception_v3"))
+
+
+def test_resnet50_structure():
+    layers = get_model("resnet50")
+    # 1 stem + (3+4+6+3) blocks x 3 convs + 4 projection convs
+    assert len(layers) == 1 + 16 * 3 + 4
+    assert layers[0].name == "conv1"
+    assert layers[0].gemm.rows == 64
+    assert layers[0].gemm.k == 3 * 7 * 7
+    assert layers[0].gemm.n == 112 * 112
+    last = layers[-1]
+    assert last.out_channels == 2048
+    assert last.gemm.n == 49
+
+
+def test_resnet50_known_macs():
+    # ~4.1 GMACs for 224x224 ImageNet inference (He et al. report 4.1B)
+    assert total_macs("resnet50") == pytest.approx(4.09e9, rel=0.02)
+
+
+def test_densenet121_structure():
+    layers = get_model("densenet121")
+    # conv0 + (6+12+24+16) dense layers x 2 convs + 3 transitions
+    assert len(layers) == 1 + 58 * 2 + 3
+    assert total_macs("densenet121") == pytest.approx(2.83e9, rel=0.02)
+    # first dense layer input is 64 channels; second 96
+    assert layers[1].in_channels == 64
+    assert layers[3].in_channels == 96
+    # final dense block layer sees 512 + 15*32 = 992 channels
+    assert layers[-1].in_channels == 128  # its 3x3 follows the bottleneck
+
+
+def test_inception_v3_structure():
+    layers = get_model("inception_v3")
+    assert len(layers) == 94
+    assert total_macs("inception_v3") == pytest.approx(5.7e9, rel=0.03)
+    # the stem halves 299 -> 149
+    assert layers[0].out_h == 149
+    # asymmetric kernels exist (1x7 and 7x1)
+    kernels = {(l.kernel_h, l.kernel_w) for l in layers}
+    assert (1, 7) in kernels and (7, 1) in kernels
+
+
+def test_spatial_chain_consistency():
+    """Every model's layer list has self-consistent spatial sizes."""
+    for name in list_models():
+        for layer in get_model(name):
+            assert layer.out_h >= 1 and layer.out_w >= 1, layer.name
+
+
+def test_conv_output_arithmetic():
+    layer = conv("t", 3, 8, 224, 7, stride=2, pad=3)
+    assert layer.out_h == 112
+    same = conv("s", 4, 4, 56, 3)
+    assert same.out_h == 56
+    asym = conv("a", 4, 4, 17, 1, kw=7)
+    assert asym.out_h == 17 and asym.out_w == 17
+
+
+def test_conv_validation():
+    with pytest.raises(WorkloadError):
+        ConvLayer("bad", 0, 4, 8, 8, 3, 3)
+    with pytest.raises(WorkloadError):
+        ConvLayer("grouped", 4, 4, 8, 8, 3, 3, groups=2)
+
+
+def test_gemm_shape():
+    layer = conv("g", 16, 32, 28, 3)
+    g = layer.gemm
+    assert (g.rows, g.k, g.n) == (32, 16 * 9, 28 * 28)
+    assert g.macs == 32 * 144 * 784
+    assert str(g) == "32x144x784"
+
+
+def test_unique_gemm_layers_multiplicity_sums():
+    for name in list_models():
+        layers = get_model(name)
+        uniq = unique_gemm_layers(layers)
+        assert sum(mult for _, mult in uniq) == len(layers)
+        # multiplicity-weighted MACs must equal the plain sum
+        weighted = sum(l.gemm.macs * m for l, m in uniq)
+        assert weighted == total_macs(name)
+
+
+def test_classifiers_present():
+    from repro.nn import (
+        densenet121_classifier,
+        inception_v3_classifier,
+        resnet50_classifier,
+    )
+
+    assert resnet50_classifier().gemm.rows == 1000
+    assert densenet121_classifier().in_features == 1024
+    assert inception_v3_classifier().in_features == 2048

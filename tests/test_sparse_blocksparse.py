@@ -1,0 +1,128 @@
+"""Unit tests for the N:M block-sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import NMSparseMatrix, pad_columns
+
+
+def test_from_dense_roundtrip_simple():
+    dense = np.array([
+        [1.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0],
+        [0.0, 0.0, 4.0, 0.0, 5.0, 0.0, 0.0, 6.0],
+    ], dtype=np.float32)
+    mat = NMSparseMatrix.from_dense(dense, 2, 4)
+    assert mat.shape == (2, 8)
+    assert mat.nnz == 6
+    np.testing.assert_array_equal(mat.to_dense(), dense)
+
+
+def test_col_idx_are_global_and_in_block():
+    dense = np.zeros((1, 8), dtype=np.float32)
+    dense[0, 5] = 7.0
+    mat = NMSparseMatrix.from_dense(dense, 1, 4)
+    # block 0 empty -> padded with index 0; block 1 holds global index 5
+    np.testing.assert_array_equal(mat.col_idx, [[0, 5]])
+    np.testing.assert_array_equal(mat.values, [[0.0, 7.0]])
+
+
+def test_from_dense_rejects_violating_block():
+    dense = np.array([[1.0, 2.0, 0.0, 0.0]], dtype=np.float32)
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix.from_dense(dense, 1, 4)
+
+
+def test_from_dense_rejects_bad_width():
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix.from_dense(np.zeros((2, 6), dtype=np.float32), 1, 4)
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix.from_dense(np.zeros(8, dtype=np.float32), 1, 4)
+
+
+def test_invalid_pattern_rejected():
+    values = np.zeros((1, 2), dtype=np.float32)
+    idx = np.zeros((1, 2), dtype=np.int32)
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix(3, 2, (1, 4), values, idx)
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix(0, 4, (1, 4), values, idx)
+
+
+def test_constructor_validates_index_bounds():
+    values = np.ones((1, 2), dtype=np.float32)
+    bad_idx = np.array([[0, 3]], dtype=np.int32)  # slot 1 belongs to block 1
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix(1, 4, (1, 8), values, bad_idx)
+
+
+def test_constructor_validates_storage_shape():
+    with pytest.raises(SparseFormatError):
+        NMSparseMatrix(1, 4, (1, 8),
+                       np.zeros((1, 3), dtype=np.float32),
+                       np.zeros((1, 3), dtype=np.int32))
+
+
+def test_properties():
+    dense = np.zeros((4, 16), dtype=np.float32)
+    dense[:, 0] = 1.0
+    mat = NMSparseMatrix.from_dense(dense, 2, 4)
+    assert mat.rows == 4
+    assert mat.cols == 16
+    assert mat.num_blocks_per_row == 4
+    assert mat.slots_per_row == 8
+    assert mat.nnz == 4
+    assert mat.density == pytest.approx(4 / 64)
+    assert mat.storage_ratio == pytest.approx(2 * 8 * 4 / 64)
+    assert "NMSparseMatrix" in repr(mat)
+
+
+def test_block_occupancy():
+    dense = np.array([[1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]],
+                     dtype=np.float32)
+    mat = NMSparseMatrix.from_dense(dense, 2, 4)
+    np.testing.assert_array_equal(mat.block_occupancy(), [[2, 0]])
+
+
+def test_equality():
+    dense = np.zeros((2, 8), dtype=np.float32)
+    dense[0, 1] = 3.0
+    a = NMSparseMatrix.from_dense(dense, 1, 4)
+    b = NMSparseMatrix.from_dense(dense, 1, 4)
+    c = NMSparseMatrix.from_dense(dense, 2, 4)
+    assert a == b
+    assert a != c
+    assert a != "not a matrix"
+
+
+def test_unhashable():
+    dense = np.zeros((1, 4), dtype=np.float32)
+    mat = NMSparseMatrix.from_dense(dense, 1, 4)
+    with pytest.raises(TypeError):
+        hash(mat)
+
+
+def test_pad_columns():
+    dense = np.ones((2, 6))
+    padded = pad_columns(dense, 4)
+    assert padded.shape == (2, 8)
+    np.testing.assert_array_equal(padded[:, 6:], 0)
+    same = pad_columns(dense, 3)
+    assert same.shape == (2, 6)
+
+
+def test_empty_matrix():
+    mat = NMSparseMatrix.from_dense(np.zeros((0, 8), dtype=np.float32), 2, 4)
+    assert mat.nnz == 0
+    assert mat.density == 0.0
+    assert mat.to_dense().shape == (0, 8)
+
+
+def test_dense_block_exactly_n_kept_in_order():
+    dense = np.array([[0.0, 5.0, 0.0, 6.0]], dtype=np.float32)
+    mat = NMSparseMatrix.from_dense(dense, 2, 4)
+    np.testing.assert_array_equal(mat.values, [[5.0, 6.0]])
+    np.testing.assert_array_equal(mat.col_idx, [[1, 3]])

@@ -1,0 +1,68 @@
+"""Tests for the unstructured CSR baseline format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SparseFormatError
+from repro.sparse import CSRMatrix
+
+
+def test_from_dense_roundtrip():
+    rng = np.random.default_rng(1)
+    dense = rng.standard_normal((7, 13)).astype(np.float32)
+    dense[dense < 0.5] = 0.0
+    mat = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(mat.to_dense(), dense)
+
+
+def test_matches_scipy_layout():
+    rng = np.random.default_rng(2)
+    dense = rng.standard_normal((9, 11)).astype(np.float32)
+    dense[rng.random(dense.shape) < 0.7] = 0.0
+    ours = CSRMatrix.from_dense(dense)
+    ref = sp.csr_matrix(dense)
+    np.testing.assert_array_equal(ours.indptr, ref.indptr)
+    np.testing.assert_array_equal(ours.indices, ref.indices)
+    np.testing.assert_array_equal(ours.data, ref.data)
+
+
+def test_row_access():
+    dense = np.array([[0.0, 1.0, 0.0], [2.0, 0.0, 3.0]], dtype=np.float32)
+    mat = CSRMatrix.from_dense(dense)
+    vals, idx = mat.row(1)
+    np.testing.assert_array_equal(vals, [2.0, 3.0])
+    np.testing.assert_array_equal(idx, [0, 2])
+    np.testing.assert_array_equal(mat.row_nnz(), [1, 2])
+
+
+def test_properties():
+    dense = np.eye(4, dtype=np.float32)
+    mat = CSRMatrix.from_dense(dense)
+    assert mat.rows == 4 and mat.cols == 4
+    assert mat.nnz == 4
+    assert mat.density == pytest.approx(0.25)
+    assert "CSRMatrix" in repr(mat)
+
+
+def test_validation_errors():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix((2, 2), np.ones(1), np.zeros(1), np.array([0, 1]))  # indptr len
+    with pytest.raises(SparseFormatError):
+        CSRMatrix((1, 2), np.ones(1), np.array([5]), np.array([0, 1]))  # col oob
+    with pytest.raises(SparseFormatError):
+        CSRMatrix((1, 2), np.ones(2), np.array([0]), np.array([0, 2]))  # len mismatch
+    with pytest.raises(SparseFormatError):
+        CSRMatrix((2, 2), np.ones(2), np.array([0, 1]),
+                  np.array([0, 2, 1]))  # decreasing / bad endpoint
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_dense(np.zeros(4, dtype=np.float32))
+
+
+def test_empty_rows():
+    dense = np.zeros((3, 5), dtype=np.float32)
+    dense[1, 2] = 1.0
+    mat = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(mat.row_nnz(), [0, 1, 0])
+    vals, idx = mat.row(0)
+    assert len(vals) == 0 and len(idx) == 0

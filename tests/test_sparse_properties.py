@@ -1,0 +1,115 @@
+"""Hypothesis property tests for the sparse formats."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CSRMatrix,
+    NMSparseMatrix,
+    magnitude_prune,
+    random_nm_matrix,
+    random_nm_pattern,
+)
+
+
+@st.composite
+def nm_patterns(draw):
+    m = draw(st.sampled_from([2, 4, 8]))
+    n = draw(st.integers(min_value=1, max_value=m))
+    return n, m
+
+
+@st.composite
+def nm_shapes(draw):
+    n, m = draw(nm_patterns())
+    rows = draw(st.integers(min_value=1, max_value=12))
+    blocks = draw(st.integers(min_value=1, max_value=8))
+    return rows, blocks * m, n, m
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_nm_dense_roundtrip(shape, seed):
+    """from_dense(to_dense(x)) preserves the matrix exactly."""
+    rows, cols, n, m = shape
+    mat = random_nm_matrix(rows, cols, n, m, np.random.default_rng(seed))
+    back = NMSparseMatrix.from_dense(mat.to_dense(), n, m)
+    assert back == mat
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_magnitude_prune_never_violates_pattern(shape, seed):
+    rows, cols, n, m = shape
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((rows, cols)).astype(np.float32)
+    pruned = magnitude_prune(dense, n, m)
+    per_block = (pruned != 0).reshape(rows, cols // m, m).sum(axis=2)
+    assert np.all(per_block <= n)
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_magnitude_prune_preserves_kept_values(shape, seed):
+    """Pruning only zeroes elements; survivors keep their exact value."""
+    rows, cols, n, m = shape
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((rows, cols)).astype(np.float32)
+    pruned = magnitude_prune(dense, n, m)
+    mask = pruned != 0
+    np.testing.assert_array_equal(pruned[mask], dense[mask])
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_pattern_occupancy_exact(shape, seed):
+    rows, cols, n, m = shape
+    mask = random_nm_pattern(rows, cols, n, m, np.random.default_rng(seed))
+    per_block = mask.reshape(rows, cols // m, m).sum(axis=2)
+    assert np.all(per_block == n)
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_nm_col_idx_sorted_within_blocks(shape, seed):
+    """Real non-zero indices are strictly increasing inside each block."""
+    rows, cols, n, m = shape
+    mat = random_nm_matrix(rows, cols, n, m, np.random.default_rng(seed))
+    idx = mat.col_idx.reshape(rows, cols // m, n)
+    vals = mat.values.reshape(rows, cols // m, n)
+    for r in range(rows):
+        for b in range(cols // m):
+            real = idx[r, b][vals[r, b] != 0]
+            assert np.all(np.diff(real) > 0)
+
+
+@given(st.integers(min_value=1, max_value=10),
+       st.integers(min_value=1, max_value=10),
+       st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip(rows, cols, seed, keep_prob):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((rows, cols)).astype(np.float32)
+    dense[rng.random((rows, cols)) > keep_prob] = 0.0
+    mat = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(mat.to_dense(), dense)
+    assert mat.nnz == np.count_nonzero(dense)
+
+
+@given(nm_shapes(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_nm_matmul_matches_dense(shape, seed):
+    """A_nm @ B computed from the compressed form equals dense A @ B."""
+    rows, cols, n, m = shape
+    rng = np.random.default_rng(seed)
+    mat = random_nm_matrix(rows, cols, n, m, rng)
+    b = rng.standard_normal((cols, 5)).astype(np.float32)
+    dense_ref = mat.to_dense() @ b
+    # compute via the compressed representation the way the kernels do
+    out = np.zeros((rows, 5), dtype=np.float32)
+    for r in range(rows):
+        for value, k in zip(mat.values[r], mat.col_idx[r]):
+            out[r] += value * b[k]
+    np.testing.assert_allclose(out, dense_ref, rtol=1e-4, atol=1e-4)

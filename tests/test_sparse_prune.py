@@ -1,0 +1,96 @@
+"""Tests for pruning and random N:M pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import (
+    magnitude_prune,
+    prune_to_nm,
+    random_nm_matrix,
+    random_nm_pattern,
+    summarize,
+    theoretical_density,
+)
+
+
+def blocks_ok(dense: np.ndarray, n: int, m: int) -> bool:
+    rows, cols = dense.shape
+    blocked = (dense != 0).reshape(rows, cols // m, m)
+    return bool(np.all(blocked.sum(axis=2) <= n))
+
+
+def test_magnitude_prune_keeps_largest():
+    dense = np.array([[1.0, -9.0, 2.0, 0.5]], dtype=np.float32)
+    pruned = magnitude_prune(dense, 2, 4)
+    np.testing.assert_array_equal(pruned, [[0.0, -9.0, 2.0, 0.0]])
+
+
+def test_magnitude_prune_is_idempotent():
+    rng = np.random.default_rng(7)
+    dense = rng.standard_normal((16, 32)).astype(np.float32)
+    once = magnitude_prune(dense, 2, 4)
+    twice = magnitude_prune(once, 2, 4)
+    np.testing.assert_array_equal(once, twice)
+
+
+def test_magnitude_prune_tie_break_stable():
+    dense = np.array([[3.0, 3.0, 3.0, 3.0]], dtype=np.float32)
+    pruned = magnitude_prune(dense, 1, 4)
+    np.testing.assert_array_equal(pruned, [[3.0, 0.0, 0.0, 0.0]])
+
+
+def test_magnitude_prune_validates():
+    with pytest.raises(SparseFormatError):
+        magnitude_prune(np.zeros((2, 6), dtype=np.float32), 1, 4)
+    with pytest.raises(SparseFormatError):
+        magnitude_prune(np.zeros((2, 8), dtype=np.float32), 5, 4)
+    with pytest.raises(SparseFormatError):
+        magnitude_prune(np.zeros(8, dtype=np.float32), 1, 4)
+
+
+@pytest.mark.parametrize("n,m", [(1, 2), (1, 4), (2, 4), (4, 8)])
+def test_prune_to_nm_satisfies_pattern(n, m):
+    rng = np.random.default_rng(11)
+    dense = rng.standard_normal((24, 8 * m)).astype(np.float32)
+    mat = prune_to_nm(dense, n, m)
+    assert blocks_ok(mat.to_dense(), n, m)
+    # pruning dense Gaussian data saturates every block
+    assert mat.density == pytest.approx(theoretical_density(n, m))
+
+
+def test_random_nm_pattern_exact_occupancy():
+    rng = np.random.default_rng(3)
+    mask = random_nm_pattern(10, 40, 2, 4, rng)
+    per_block = mask.reshape(10, 10, 4).sum(axis=2)
+    assert np.all(per_block == 2)
+
+
+def test_random_nm_pattern_validates():
+    rng = np.random.default_rng(3)
+    with pytest.raises(SparseFormatError):
+        random_nm_pattern(10, 41, 2, 4, rng)
+    with pytest.raises(SparseFormatError):
+        random_nm_pattern(10, 40, 0, 4, rng)
+
+
+def test_random_nm_matrix_nnz_exact():
+    rng = np.random.default_rng(5)
+    mat = random_nm_matrix(8, 32, 1, 4, rng)
+    assert mat.nnz == 8 * (32 // 4)
+    summary = summarize(mat)
+    assert summary.saturated_block_fraction == 1.0
+    assert summary.block_occupancy_histogram[-1] == 8 * 8
+    assert summary.sparsity == pytest.approx(0.75)
+
+
+def test_random_nm_matrix_reproducible():
+    a = random_nm_matrix(4, 16, 2, 4, np.random.default_rng(42))
+    b = random_nm_matrix(4, 16, 2, 4, np.random.default_rng(42))
+    assert a == b
+
+
+def test_theoretical_density():
+    assert theoretical_density(1, 4) == 0.25
+    assert theoretical_density(2, 4) == 0.5
+    assert theoretical_density(1, 2) == 0.5
