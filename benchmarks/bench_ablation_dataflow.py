@@ -10,7 +10,12 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import config_from_env, policy_from_env, publish  # noqa: E402
+from common import (  # noqa: E402
+    config_from_env,
+    policy_from_env,
+    publish,
+    setup_engine,
+)
 
 from repro.eval import run_dataflow_ablation
 from repro.kernels import Dataflow
@@ -19,6 +24,7 @@ from repro.kernels import Dataflow
 def bench_ablation_dataflow(benchmark, capsys):
     policy = policy_from_env()
     config = config_from_env()
+    setup_engine()
 
     result = benchmark.pedantic(
         lambda: run_dataflow_ablation(policy=policy, config=config),

@@ -5,7 +5,12 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import config_from_env, policy_from_env, publish  # noqa: E402
+from common import (  # noqa: E402
+    config_from_env,
+    policy_from_env,
+    publish,
+    setup_engine,
+)
 
 from repro.eval import run_unroll_ablation
 
@@ -13,6 +18,7 @@ from repro.eval import run_unroll_ablation
 def bench_ablation_unroll(benchmark, capsys):
     policy = policy_from_env()
     config = config_from_env()
+    setup_engine()
 
     result = benchmark.pedantic(
         lambda: run_unroll_ablation(policy=policy, config=config),

@@ -9,7 +9,12 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import config_from_env, policy_from_env, publish  # noqa: E402
+from common import (  # noqa: E402
+    config_from_env,
+    policy_from_env,
+    publish,
+    setup_engine,
+)
 
 from repro.eval import run_fig5
 from repro.eval.paper import MODELS
@@ -18,6 +23,7 @@ from repro.eval.paper import MODELS
 def bench_fig5(benchmark, capsys):
     policy = policy_from_env()
     config = config_from_env()
+    setup_engine()
 
     result = benchmark.pedantic(
         lambda: run_fig5(policy=policy, config=config),

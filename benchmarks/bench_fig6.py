@@ -10,7 +10,12 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from common import config_from_env, policy_from_env, publish  # noqa: E402
+from common import (  # noqa: E402
+    config_from_env,
+    policy_from_env,
+    publish,
+    setup_engine,
+)
 
 from repro.eval import run_fig6
 from repro.eval.paper import FIG6_REDUCTION, MODELS
@@ -19,6 +24,7 @@ from repro.eval.paper import FIG6_REDUCTION, MODELS
 def bench_fig6(benchmark, capsys):
     policy = policy_from_env()
     config = config_from_env()
+    setup_engine()
 
     result = benchmark.pedantic(
         lambda: run_fig6(policy=policy, config=config),

@@ -74,7 +74,7 @@ def main():
     print(f"\nsimulated execution: {stats.cycles:,.0f} cycles, "
           f"{stats.instructions:,} instructions")
     print(f"vindexmac ops: {stats.vindexmac_count:,} "
-          f"(one per stored non-zero per column tile)")
+          "(one per stored non-zero per column tile)")
     print(f"vector loads:  {stats.vector_loads:,} "
           "(B rows enter the VRF once per tile, never per non-zero)")
 

@@ -55,9 +55,9 @@ def main():
 
         non_dram_base = base.total_pj - base.breakdown_pj["dram"]
         non_dram_prop = prop.total_pj - prop.breakdown_pj["dram"]
-        print(f"controllable (non-DRAM) energy reduction: "
+        print("controllable (non-DRAM) energy reduction: "
               f"{pct(1 - non_dram_prop / non_dram_base)}"
-              f"  (DRAM cold-miss traffic is compulsory for both)\n")
+              "  (DRAM cold-miss traffic is compulsory for both)\n")
 
 
 if __name__ == "__main__":

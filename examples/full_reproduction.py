@@ -7,7 +7,14 @@ With the default 'small' policy this takes a couple of minutes; use
 '--policy tiny' for a fast smoke pass or '--policy medium' for the
 highest-fidelity run.
 
+All simulations go through the experiment engine: '--jobs N' fans them
+out over N worker processes (0 = one per CPU) and results are memoised
+in the on-disk cache, so a second invocation — or 'python -m repro
+bench' afterwards — re-renders everything without simulating.  Pass
+'--no-cache' to force fresh simulations.
+
 Run:  python examples/full_reproduction.py [--policy tiny|small|medium]
+                                           [--jobs N] [--no-cache]
 """
 
 import argparse
@@ -15,6 +22,7 @@ import time
 
 from repro.arch import ProcessorConfig
 from repro.eval import run_fig4, run_fig5, run_fig6, run_table1
+from repro.eval.engine import ExperimentEngine, set_engine
 from repro.nn import POLICIES
 
 
@@ -22,23 +30,28 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--policy", default="small",
                         choices=["tiny", "small", "medium"])
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="engine worker processes (0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk simulation result cache")
     args = parser.parse_args()
     policy = POLICIES[args.policy]
     config = ProcessorConfig.scaled_default()
+    engine = ExperimentEngine.from_env(
+        jobs=args.jobs, cache=False if args.no_cache else None)
+    set_engine(engine)
 
     print(run_table1().render())
     for name, runner in (("Fig. 4", run_fig4), ("Fig. 5", run_fig5),
                          ("Fig. 6", run_fig6)):
         start = time.perf_counter()
-        if runner is run_fig4:
-            result = runner(policy=policy, config=config)
-        else:
-            result = runner(policy=policy, config=config)
+        result = runner(policy=policy, config=config)
         elapsed = time.perf_counter() - start
         print(f"\n{'=' * 72}")
         print(result.render())
         print(f"[{name} regenerated in {elapsed:.1f}s"
               f" at policy '{policy.name}']")
+    print(f"\n[{engine.summary()}]")
 
 
 if __name__ == "__main__":

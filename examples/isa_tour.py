@@ -20,7 +20,7 @@ def show_encoding():
     word = encode(instr)
     print("The proposed instruction (paper Section III-A):")
     print(f"  assembly : {format_instr(instr)}")
-    print(f"  semantics: v8[i] += v1[0] * vrf[t0[4:0]][i]")
+    print("  semantics: v8[i] += v1[0] * vrf[t0[4:0]][i]")
     print(f"  encoding : {word:#010x}  ({word:032b})")
     print(f"    opcode  [6:0]   = {word & 0x7F:#09b} (OP-V"
           f" = {OPC_OP_V:#09b})")

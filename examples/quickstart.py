@@ -59,9 +59,9 @@ def main():
     speedup = base_stats.cycles / prop_stats.cycles
     saved = 1 - prop_stats.vector_mem_instrs / base_stats.vector_mem_instrs
     print(f"\nspeedup:               {speedup:.2f}x"
-          f"   (paper reports 1.80x-2.14x on CNN layers)")
+          "   (paper reports 1.80x-2.14x on CNN layers)")
     print(f"memory access savings: {saved:.0%}"
-          f"   (paper reports 48% at 1:4, 65% at 2:4)")
+          "   (paper reports 48% at 1:4, 65% at 2:4)")
 
 
 if __name__ == "__main__":

@@ -217,7 +217,6 @@ def _rowwise_b_stationary_cost(geom: SpmmGeometry) -> KernelCost:
 
 
 def _rowwise_c_stationary_cost(geom: SpmmGeometry) -> KernelCost:
-    opt = geom.options
     rows, slots = geom.rows, geom.slots_tile
     iters = rows * slots * geom.k_tiles * geom.col_tiles
     v2s, b_loads, macs, slides = _inner_ops(iters)

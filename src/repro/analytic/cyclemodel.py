@@ -33,7 +33,6 @@ from repro.analytic.costmodel import (
 )
 from repro.arch.config import ProcessorConfig
 from repro.errors import KernelError
-from repro.kernels.builder import KernelOptions
 
 
 @dataclass(frozen=True)

@@ -169,7 +169,7 @@ class ProcessorConfig:
             "Vector engine",
             f"  {v.vlen_bits}-bit vector engine with {v.lanes}-lane "
             f"configuration ({v.sew_bits}-bit elements x {v.lanes} lanes)",
-            f"  connected directly to the L2 cache through "
+            "  connected directly to the L2 cache through "
             f"{v.store_queues} store queues and {v.load_queues} load queues",
             "L2 cache",
             f"  {self.l2.ways}-way, {self.l2.banks}-bank",

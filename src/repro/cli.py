@@ -7,17 +7,37 @@ Commands
 ``fig5``        total-CNN speedups (Fig. 5)
 ``fig6``        normalized memory accesses (Fig. 6)
 ``ablations``   the A1-A5 design-space studies
+``bench``       regenerate any subset of paper artifacts through the
+                experiment engine, with a progress/summary report
 ``layers``      list a model's convolutions and GEMM shapes
 ``encode``      assemble one instruction and show its encoding
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
+
+Experiment engine
+-----------------
+The simulation-backed commands (``fig4``/``fig5``/``fig6``/
+``ablations``/``bench``) accept ``--jobs N`` (worker processes, ``0``
+meaning one per CPU) and ``--no-cache`` (skip the on-disk result cache
+at ``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sim``).  Identical
+(kernel, workload, config) simulations are executed exactly once and
+shared across figures and invocations; see :mod:`repro.eval.engine`
+for the cache-invalidation rules.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 from repro.arch.config import ProcessorConfig
+from repro.eval.engine import (
+    ExperimentEngine,
+    SimJob,
+    atomic_write_text,
+    set_engine,
+)
 from repro.eval.experiments import (
     run_csr_ablation,
     run_dataflow_ablation,
@@ -42,6 +62,24 @@ def _add_policy_arg(parser: argparse.ArgumentParser) -> None:
                         help="workload scale policy (default: small)")
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (0 = one per CPU; "
+                             "default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk "
+                             "simulation result cache")
+
+
+def _install_engine(args) -> ExperimentEngine:
+    """Build the engine selected by --jobs/--no-cache (env fills gaps)."""
+    engine = ExperimentEngine.from_env(
+        jobs=getattr(args, "jobs", None),
+        cache=False if getattr(args, "no_cache", False) else None)
+    set_engine(engine)
+    return engine
+
+
 def _policy_and_config(args):
     policy = POLICIES[args.policy]
     return policy, ProcessorConfig.scaled_default()
@@ -54,29 +92,97 @@ def cmd_table1(args) -> int:
 
 def cmd_fig4(args) -> int:
     policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
     print(run_fig4(model=args.model, policy=policy, config=config).render())
+    print(f"\n[{engine.summary()}]")
     return 0
 
 
 def cmd_fig5(args) -> int:
     policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
     print(run_fig5(policy=policy, config=config).render())
+    print(f"\n[{engine.summary()}]")
     return 0
 
 
 def cmd_fig6(args) -> int:
     policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
     print(run_fig6(policy=policy, config=config).render())
+    print(f"\n[{engine.summary()}]")
     return 0
 
 
 def cmd_ablations(args) -> int:
     policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
     for runner in (run_dataflow_ablation, run_unroll_ablation,
                    run_tile_rows_ablation, run_csr_ablation,
                    run_sparsity_sweep):
         print(runner(policy=policy, config=config).render())
         print()
+    print(f"[{engine.summary()}]")
+    return 0
+
+
+# ======================================================================
+# bench — regenerate paper artifacts through the engine
+# ======================================================================
+#: name -> (title, results file stem, driver(policy, config) -> result)
+ARTIFACTS = {
+    "table1": ("Table I", "table1",
+               lambda policy, config: run_table1()),
+    "fig4": ("Fig. 4", "fig4",
+             lambda policy, config: run_fig4(policy=policy, config=config)),
+    "fig5": ("Fig. 5", "fig5",
+             lambda policy, config: run_fig5(policy=policy, config=config)),
+    "fig6": ("Fig. 6", "fig6",
+             lambda policy, config: run_fig6(policy=policy, config=config)),
+    "a1": ("A1 dataflow ablation", "ablation_dataflow",
+           lambda policy, config: run_dataflow_ablation(policy=policy,
+                                                        config=config)),
+    "a2": ("A2 unroll ablation", "ablation_unroll",
+           lambda policy, config: run_unroll_ablation(policy=policy,
+                                                      config=config)),
+    "a3": ("A3 tile-rows ablation", "ablation_tile_rows",
+           lambda policy, config: run_tile_rows_ablation(policy=policy,
+                                                         config=config)),
+    "a4": ("A4 CSR ablation", "ablation_csr",
+           lambda policy, config: run_csr_ablation(policy=policy,
+                                                   config=config)),
+    "a5": ("A5 sparsity sweep", "ablation_sparsity",
+           lambda policy, config: run_sparsity_sweep(policy=policy,
+                                                     config=config)),
+}
+
+
+def cmd_bench(args) -> int:
+    policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
+    names = list(args.artifacts)
+    if "all" in names:
+        names = list(ARTIFACTS)
+    names = list(dict.fromkeys(names))  # dedupe, keep order
+    out_dir = Path(args.out)
+    start_all = time.perf_counter()
+    for i, name in enumerate(names, 1):
+        title, stem, driver = ARTIFACTS[name]
+        start = time.perf_counter()
+        result = driver(policy, config)
+        text = result.render()
+        elapsed = time.perf_counter() - start
+        path = out_dir / f"{stem}.txt"
+        atomic_write_text(path, text + "\n")
+        print(f"[{i}/{len(names)}] {title} regenerated in "
+              f"{elapsed:.1f}s -> {path}")
+        if args.show:
+            print(text)
+            print()
+    total = time.perf_counter() - start_all
+    print(f"\n{len(names)} artifact(s) at policy {policy.name!r} "
+          f"in {total:.1f}s")
+    print(engine.summary())
     return 0
 
 
@@ -100,19 +206,21 @@ def cmd_encode(args) -> int:
 
 
 def cmd_quickcheck(args) -> int:
-    import numpy as np
+    from repro.eval.comparison import BASELINE, PROPOSED
 
-    from repro.eval.runner import run_spmm
-    from repro.sparse.prune import random_nm_matrix
-
-    rng = np.random.default_rng(0)
+    # sanity runs always re-simulate: a cached quickcheck checks nothing
+    engine = ExperimentEngine.from_env(jobs=getattr(args, "jobs", None),
+                                       cache=False)
+    set_engine(engine)
     config = ProcessorConfig.scaled_default()
+    patterns = ((1, 4), (2, 4))
+    runs = engine.run([
+        SimJob.for_shape(16, 64, 32, nm, kernel, seed=0, config=config)
+        for nm in patterns
+        for kernel in (BASELINE, PROPOSED)
+    ])
     ok = True
-    for nm in ((1, 4), (2, 4)):
-        a = random_nm_matrix(16, 64, *nm, rng)
-        b = rng.standard_normal((64, 32)).astype(np.float32)
-        base = run_spmm(a, b, "rowwise-spmm", config=config)
-        prop = run_spmm(a, b, "indexmac-spmm", config=config)
+    for nm, base, prop in zip(patterns, runs[0::2], runs[1::2]):
         speedup = base.cycles / prop.cycles
         saved = 1 - prop.stats.vector_mem_instrs / \
             base.stats.vector_mem_instrs
@@ -135,19 +243,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4", help="per-layer speedups (Fig. 4)")
     p.add_argument("--model", default="resnet50", choices=list_models())
     _add_policy_arg(p)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_fig4)
 
     p = sub.add_parser("fig5", help="total-CNN speedups (Fig. 5)")
     _add_policy_arg(p)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_fig5)
 
     p = sub.add_parser("fig6", help="memory accesses (Fig. 6)")
     _add_policy_arg(p)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_fig6)
 
     p = sub.add_parser("ablations", help="A1-A5 design-space studies")
     _add_policy_arg(p)
+    _add_engine_args(p)
     p.set_defaults(fn=cmd_ablations)
+
+    p = sub.add_parser(
+        "bench",
+        help="regenerate paper artifacts through the experiment engine")
+    p.add_argument("--artifacts", nargs="+", default=["all"],
+                   choices=["all", *ARTIFACTS],
+                   help="artifact subset (default: all)")
+    p.add_argument("--out", default="benchmarks/results", metavar="DIR",
+                   help="directory for the rendered *.txt artifacts "
+                        "(default: benchmarks/results)")
+    p.add_argument("--show", action="store_true",
+                   help="also print each rendered artifact")
+    _add_policy_arg(p)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("layers", help="list a model's conv layers")
     p.add_argument("model", choices=list_models())
@@ -159,6 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_encode)
 
     p = sub.add_parser("quickcheck", help="fast end-to-end sanity run")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes (0 = one per CPU)")
     p.set_defaults(fn=cmd_quickcheck)
     return parser
 

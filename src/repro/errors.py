@@ -31,3 +31,7 @@ class KernelError(ReproError):
 
 class WorkloadError(ReproError):
     """A CNN layer or workload description is invalid."""
+
+
+class EngineError(ReproError):
+    """An experiment-engine job or cache operation is invalid."""

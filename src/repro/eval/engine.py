@@ -1,0 +1,371 @@
+"""Parallel, cached experiment execution engine.
+
+Every simulation a figure/table/ablation needs is expressed as a
+hashable :class:`SimJob` (kernel, workload source, sparsity pattern,
+:class:`KernelOptions`, :class:`ProcessorConfig`).  The
+:class:`ExperimentEngine` deduplicates jobs within a batch, memoises
+results in-process and in an on-disk JSON cache keyed by a content
+hash of the job, and fans cache misses out across worker processes
+with :class:`concurrent.futures.ProcessPoolExecutor` (falling back to
+in-process execution when a pool cannot be created).  Result order is
+always the submission order, so parallel and serial runs render
+bit-identical tables.
+
+Cache rules
+-----------
+* Location: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/sim``.
+* Key: sha256 over the canonical JSON of the job plus
+  :data:`CACHE_SCHEMA`; bump :data:`CACHE_SCHEMA` whenever a simulator
+  change alters results, or delete the cache directory.
+* One JSON file per job, written atomically (temp file + rename), so
+  concurrent workers and concurrent engine processes never interleave
+  partial files.  Unreadable/corrupted entries count as misses and are
+  re-simulated and rewritten.
+
+Environment knobs (read when the default engine is built):
+``REPRO_JOBS`` (worker processes; ``0`` = one per CPU, default ``1``)
+and ``REPRO_NO_CACHE`` (any non-empty value disables the disk cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.config import ProcessorConfig
+from repro.arch.stats import ExecutionStats
+from repro.errors import EngineError
+from repro.eval.runner import CSR_KERNEL, KernelRun, run_csr, run_spmm
+from repro.kernels.builder import KernelOptions
+from repro.nn.models import get_model
+from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
+
+#: Bump whenever a simulator/workload change invalidates cached results.
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/sim``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sim"
+
+
+# ======================================================================
+# Jobs
+# ======================================================================
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, described by value (no arrays — workers rebuild
+    the operands deterministically from this spec, and the spec is what
+    gets content-hashed for the disk cache).
+
+    The workload comes from exactly one source: a named CNN layer
+    (``model``/``layer``/``policy``) or an explicit synthetic GEMM
+    (``shape``/``seed``).
+    """
+
+    kernel: str
+    nm: tuple[int, int]
+    options: KernelOptions = KernelOptions()
+    config: ProcessorConfig = field(
+        default_factory=ProcessorConfig.scaled_default)
+    verify: bool = True
+    # -- workload source A: a (scaled) CNN layer GEMM.  The policy is
+    # carried by value, so custom (unregistered) policies work and two
+    # policies sharing a name can never alias in the cache.
+    model: str | None = None
+    layer: str | None = None
+    policy: ScalePolicy | None = None
+    # -- workload source B: an explicit synthetic GEMM
+    shape: tuple[int, int, int] | None = None  #: (rows, k, n)
+    seed: int | None = None
+
+    def __post_init__(self):
+        layer_src = (self.model, self.layer, self.policy)
+        shape_src = (self.shape, self.seed)
+        if not ((all(v is not None for v in layer_src)
+                 and all(v is None for v in shape_src))
+                or (all(v is None for v in layer_src)
+                    and all(v is not None for v in shape_src))):
+            raise EngineError(
+                "SimJob needs exactly one workload source: either "
+                "model+layer+policy or shape+seed")
+
+    @classmethod
+    def for_layer(cls, model: str, layer: str, nm: tuple[int, int],
+                  policy: ScalePolicy, kernel: str,
+                  options: KernelOptions | None = None,
+                  config: ProcessorConfig | None = None,
+                  verify: bool = True) -> "SimJob":
+        return cls(kernel=kernel, nm=tuple(nm),
+                   options=options or KernelOptions(),
+                   config=config or ProcessorConfig.scaled_default(),
+                   verify=verify, model=model, layer=layer, policy=policy)
+
+    @classmethod
+    def for_shape(cls, rows: int, k: int, n: int, nm: tuple[int, int],
+                  kernel: str, seed: int = 0,
+                  options: KernelOptions | None = None,
+                  config: ProcessorConfig | None = None,
+                  verify: bool = True) -> "SimJob":
+        return cls(kernel=kernel, nm=tuple(nm),
+                   options=options or KernelOptions(),
+                   config=config or ProcessorConfig.scaled_default(),
+                   verify=verify, shape=(rows, k, n), seed=seed)
+
+
+def _canonical(value):
+    """Reduce a job field to a deterministic JSON-serializable value."""
+    if isinstance(value, Enum):
+        return value.name
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise EngineError(f"cannot canonicalize {type(value).__name__} "
+                      "for job hashing")
+
+
+def job_hash(job: SimJob) -> str:
+    """Stable content hash of a job (identical across processes)."""
+    payload = {"schema": CACHE_SCHEMA, "job": _canonical(job)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def job_operands(job: SimJob):
+    """Rebuild the (A, B) operands of a job deterministically."""
+    if job.model is not None:
+        layer = next((l for l in get_model(job.model)
+                      if l.name == job.layer), None)
+        if layer is None:
+            raise EngineError(
+                f"model {job.model!r} has no layer {job.layer!r}")
+        workload = make_layer_workload(layer, *job.nm, policy=job.policy,
+                                       tile_rows=job.options.tile_rows)
+        return workload.a, workload.b
+    rows, k, n_cols = job.shape
+    rng = np.random.default_rng(job.seed)
+    return make_workload(rows, k, n_cols, *job.nm, rng,
+                         tile_rows=job.options.tile_rows)
+
+
+def execute_job(job: SimJob) -> KernelRun:
+    """Run one job to completion (the worker-process entry point)."""
+    a, b = job_operands(job)
+    if job.kernel == CSR_KERNEL:
+        return run_csr(a, b, config=job.config, verify=job.verify)
+    return run_spmm(a, b, job.kernel, options=job.options,
+                    config=job.config, verify=job.verify)
+
+
+# ======================================================================
+# On-disk result cache
+# ======================================================================
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Content-addressed store of :class:`KernelRun` results."""
+
+    def __init__(self, root: Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> KernelRun | None:
+        """The cached run for ``key``, or None on a miss.
+
+        A corrupted/unreadable entry is deleted and reported as a miss
+        so the job is simply re-simulated.
+        """
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["schema"] != CACHE_SCHEMA:
+                raise ValueError("stale cache schema")
+            stats = ExecutionStats(**payload["stats"])
+            return KernelRun(kernel=payload["kernel"], stats=stats,
+                             verified=payload["verified"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError, KeyError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, key: str, job: SimJob, run: KernelRun) -> None:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "job": _canonical(job),
+            "kernel": run.kernel,
+            "verified": run.verified,
+            "stats": _canonical(run.stats),
+        }
+        atomic_write_text(self.path(key),
+                          json.dumps(payload, sort_keys=True, indent=1))
+
+
+# ======================================================================
+# Engine
+# ======================================================================
+@dataclass
+class EngineCounters:
+    """Cumulative accounting of how each requested job was satisfied."""
+
+    simulated: int = 0   #: jobs actually executed on the simulator
+    disk_hits: int = 0   #: jobs answered from the on-disk cache
+    memo_hits: int = 0   #: jobs answered from the in-process memo
+
+    @property
+    def total(self) -> int:
+        return self.simulated + self.disk_hits + self.memo_hits
+
+
+class ExperimentEngine:
+    """Deduplicating, memoising, parallel executor of :class:`SimJob`s.
+
+    ``jobs`` is the worker-process count: ``1`` (default) runs
+    in-process, ``0``/``None`` means one worker per CPU.  ``cache``
+    toggles the on-disk result cache at ``cache_dir``.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache: bool = True,
+                 cache_dir: Path | None = None):
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        self.cache = ResultCache(cache_dir) if cache else None
+        self.counters = EngineCounters()
+        self._memo: dict[str, KernelRun] = {}
+
+    @classmethod
+    def from_env(cls, jobs: int | None = None,
+                 cache: bool | None = None) -> "ExperimentEngine":
+        """Build an engine from ``REPRO_JOBS``/``REPRO_NO_CACHE``,
+        with explicit arguments taking precedence."""
+        if jobs is None:
+            raw = os.environ.get("REPRO_JOBS", "1") or "1"
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise EngineError(
+                    f"REPRO_JOBS={raw!r} is not an integer") from None
+        if cache is None:
+            cache = not os.environ.get("REPRO_NO_CACHE")
+        return cls(jobs=jobs, cache=cache)
+
+    # -- execution -----------------------------------------------------
+    def run(self, jobs) -> list[KernelRun]:
+        """Run a batch of jobs; results arrive in submission order.
+
+        Identical jobs (same content hash) within the batch are
+        simulated once.  Disk-cache hits are promoted into the
+        in-process memo.
+        """
+        jobs = list(jobs)
+        keys = [job_hash(job) for job in jobs]
+        pending: dict[str, SimJob] = {}
+        for job, key in zip(jobs, keys):
+            if key in self._memo:
+                self.counters.memo_hits += 1
+                continue
+            if key in pending:
+                # duplicate within the batch: satisfied by the pending
+                # job's single simulation, via the memo, at no cost
+                self.counters.memo_hits += 1
+                continue
+            cached = self.cache.load(key) if self.cache else None
+            if cached is not None:
+                self.counters.disk_hits += 1
+                self._memo[key] = cached
+                continue
+            pending[key] = job
+        if pending:
+            runs = self._execute(list(pending.values()))
+            self.counters.simulated += len(pending)
+            for key, job, run in zip(pending, pending.values(), runs):
+                self._memo[key] = run
+                if self.cache:
+                    self.cache.store(key, job, run)
+        return [self._memo[key] for key in keys]
+
+    def _execute(self, jobs: list[SimJob]) -> list[KernelRun]:
+        if self.jobs > 1 and len(jobs) > 1:
+            try:
+                workers = min(self.jobs, len(jobs))
+                chunk = max(1, len(jobs) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(execute_job, jobs,
+                                         chunksize=chunk))
+            except (OSError, BrokenProcessPool, ImportError):
+                # sandboxes without fork/semaphores: degrade gracefully
+                pass
+        return [execute_job(job) for job in jobs]
+
+    # -- reporting -----------------------------------------------------
+    def summary(self) -> str:
+        """One-line accounting, e.g. for the ``repro bench`` report."""
+        c = self.counters
+        where = str(self.cache.root) if self.cache else "disabled"
+        return (f"engine: {c.simulated} simulations, "
+                f"{c.disk_hits} disk-cache hits, "
+                f"{c.memo_hits} memo hits "
+                f"(workers {self.jobs}, cache {where})")
+
+
+# ======================================================================
+# Default (module-level) engine
+# ======================================================================
+_default_engine: ExperimentEngine | None = None
+
+
+def get_engine() -> ExperimentEngine:
+    """The process-wide default engine (built from env on first use)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine.from_env()
+    return _default_engine
+
+
+def set_engine(engine: ExperimentEngine | None) -> ExperimentEngine | None:
+    """Install (or, with None, reset) the default engine."""
+    global _default_engine
+    _default_engine = engine
+    return engine
+
+
+def configure(jobs: int | None = None,
+              cache: bool | None = None) -> ExperimentEngine:
+    """Install a default engine from env + explicit overrides."""
+    return set_engine(ExperimentEngine.from_env(jobs=jobs, cache=cache))

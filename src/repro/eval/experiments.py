@@ -1,9 +1,14 @@
 """Experiment drivers: one per table/figure of the paper + ablations.
 
 Every driver returns a result object with a ``render()`` method that
-prints the same rows/series the paper reports.  Results of simulated
-layer comparisons are memoised per (model, sparsity, policy, config,
-options) within the process, so Fig. 4, 5 and 6 share their runs.
+prints the same rows/series the paper reports.  All simulations are
+submitted as :class:`repro.eval.engine.SimJob` batches to the default
+:class:`repro.eval.engine.ExperimentEngine`, which deduplicates them,
+runs misses in parallel worker processes, and memoises results both
+in-process and in an on-disk cache — so Fig. 4, 5 and 6 share their
+runs, and a warm cache re-renders every figure without simulating.
+Layer comparisons are additionally memoised per (model, sparsity,
+policy, config, options) within the process.
 """
 
 from __future__ import annotations
@@ -16,17 +21,19 @@ from repro.analytic.costmodel import spmm_cost
 from repro.arch.config import ProcessorConfig
 from repro.eval import paper
 from repro.eval.comparison import (
+    BASELINE,
+    PROPOSED,
     LayerComparison,
     aggregate_mem_ratio,
     aggregate_speedup,
-    compare_layer,
 )
+from repro.eval.engine import SimJob, get_engine
 from repro.eval.report import bar_chart, format_table, pct
-from repro.eval.runner import run_spmm
+from repro.eval.runner import CSR_KERNEL
 from repro.kernels.builder import KernelOptions
 from repro.kernels.dataflow import Dataflow
 from repro.nn.models import MODEL_NAMES, get_model, unique_gemm_layers
-from repro.nn.workload import SMALL, ScalePolicy, make_layer_workload
+from repro.nn.workload import SMALL, ScalePolicy, padded_gemm
 
 _VL = 16
 
@@ -50,19 +57,33 @@ def model_comparisons(model: str, nm: tuple[int, int],
     """Simulate both designs on every unique layer GEMM of ``model``.
 
     Layers with identical GEMM shapes are simulated once and carry a
-    multiplicity (see ``unique_gemm_layers``).
+    multiplicity (see ``unique_gemm_layers``).  All simulations go
+    through the experiment engine (parallel + disk-cached) as one
+    batch; the policy travels inside each job by value, so custom
+    :class:`ScalePolicy` instances work like the registered ones.
     """
     config = config or ProcessorConfig.scaled_default()
     options = options or paper_options()
-    key = (model, nm, policy.name, config, options, verify)
+    key = (model, nm, policy, config, options, verify)
     if key in _COMPARISON_CACHE:
         return _COMPARISON_CACHE[key]
+    layers = list(unique_gemm_layers(get_model(model)))
+    jobs = [
+        SimJob.for_layer(model, layer.name, nm, policy, kernel,
+                         options, config, verify)
+        for layer, _ in layers
+        for kernel in (BASELINE, PROPOSED)
+    ]
+    runs = get_engine().run(jobs)
     result = []
-    for layer, mult in unique_gemm_layers(get_model(model)):
-        workload = make_layer_workload(layer, *nm, policy=policy,
-                                       tile_rows=options.tile_rows)
-        result.append(compare_layer(workload, options=options, config=config,
-                                    verify=verify, multiplicity=mult))
+    for (layer, mult), base, prop in zip(layers, runs[0::2], runs[1::2]):
+        scaled = padded_gemm(layer.gemm, *nm, policy=policy,
+                             tile_rows=options.tile_rows)
+        result.append(LayerComparison(
+            layer_name=layer.name, nm=nm, original=layer.gemm,
+            scaled=scaled, baseline=base.stats, proposed=prop.stats,
+            multiplicity=mult,
+            scale_factor=layer.gemm.macs / scaled.macs))
     _COMPARISON_CACHE[key] = result
     return result
 
@@ -205,7 +226,7 @@ class Fig6Result:
                              pct(1 - ana)])
             avg = self.average_reduction(nm)
             ref = paper.FIG6_REDUCTION.get(nm, float("nan"))
-            title = (f"Fig. 6 — normalized memory accesses, "
+            title = ("Fig. 6 — normalized memory accesses, "
                      f"{nm[0]}:{nm[1]} (paper avg reduction {pct(ref)}, "
                      f"measured {pct(avg)})")
             parts.append(format_table(
@@ -261,13 +282,14 @@ class AblationResult:
         return format_table(self.headers, self.rows, title=self.title)
 
 
-def _ablation_workload(nm=(1, 4), policy: ScalePolicy = SMALL,
-                       tile_rows: int = 16,
-                       layer_name: str = "conv3_1_3x3"):
-    """A representative ResNet50 layer (default: the conv3_x 3x3)."""
-    layer = next(l for l in get_model("resnet50") if l.name == layer_name)
-    return make_layer_workload(layer, *nm, policy=policy,
-                               tile_rows=tile_rows)
+def _ablation_job(kernel: str, nm=(1, 4), policy: ScalePolicy = SMALL,
+                  config: ProcessorConfig | None = None,
+                  options: KernelOptions | None = None,
+                  verify: bool = True,
+                  layer_name: str = "conv3_1_3x3") -> SimJob:
+    """A job on a representative ResNet50 layer (default: conv3_x 3x3)."""
+    return SimJob.for_layer("resnet50", layer_name, nm, policy,
+                            kernel, options, config, verify)
 
 
 def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
@@ -277,13 +299,16 @@ def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
     config = config or ProcessorConfig.scaled_default()
     # dataflow choice only matters when B exceeds the L2: use the
     # big-B early-network layer for this comparison
-    workload = _ablation_workload(nm, policy, layer_name="conv2_1_3x3")
+    dataflows = list(Dataflow)
+    runs = get_engine().run([
+        _ablation_job(BASELINE, nm, policy, config,
+                      paper_options(dataflow=df), verify,
+                      layer_name="conv2_1_3x3")
+        for df in dataflows
+    ])
     rows = []
     cycles = {}
-    for df in Dataflow:
-        opts = paper_options(dataflow=df)
-        run = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
-                       config, verify)
+    for df, run in zip(dataflows, runs):
         cycles[df] = run.stats.cycles
         rows.append([f"{df.value}-stationary", run.stats.cycles,
                      run.stats.vector_mem_instrs,
@@ -303,15 +328,16 @@ def run_unroll_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                         verify: bool = True) -> AblationResult:
     """A2: loop unrolling helps both kernels (IV-A uses x4)."""
     config = config or ProcessorConfig.scaled_default()
-    workload = _ablation_workload(nm, policy)
+    unrolls = (1, 2, 4)
+    runs = get_engine().run([
+        _ablation_job(kernel, nm, policy, config,
+                      paper_options(unroll=unroll), verify)
+        for unroll in unrolls
+        for kernel in (BASELINE, PROPOSED)
+    ])
     rows = []
     speedups = {}
-    for unroll in (1, 2, 4):
-        opts = paper_options(unroll=unroll)
-        base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
-                        config, verify)
-        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
-                        config, verify)
+    for unroll, base, prop in zip(unrolls, runs[0::2], runs[1::2]):
         speedup = base.stats.cycles / prop.stats.cycles
         speedups[unroll] = (base.stats.cycles, prop.stats.cycles)
         rows.append([f"x{unroll}", base.stats.cycles, prop.stats.cycles,
@@ -330,13 +356,15 @@ def run_tile_rows_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                            verify: bool = True) -> AblationResult:
     """A3: pre-loaded tile height L (the paper uses L=16)."""
     config = config or ProcessorConfig.scaled_default()
+    sizes = (4, 8, 16)
+    runs = get_engine().run([
+        _ablation_job(PROPOSED, nm, policy, config,
+                      paper_options(tile_rows=tile_rows), verify)
+        for tile_rows in sizes
+    ])
     rows = []
     cycles = {}
-    for tile_rows in (4, 8, 16):
-        workload = _ablation_workload(nm, policy, tile_rows=tile_rows)
-        opts = paper_options(tile_rows=tile_rows)
-        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
-                        config, verify)
+    for tile_rows, prop in zip(sizes, runs):
         cycles[tile_rows] = prop.stats.cycles
         rows.append([f"L={tile_rows}", prop.stats.cycles,
                      prop.stats.vector_mem_instrs])
@@ -361,15 +389,14 @@ def run_sparsity_sweep(policy: ScalePolicy = SMALL,
     per-non-zero instruction ratio is constant.
     """
     config = config or ProcessorConfig.scaled_default()
+    runs = get_engine().run([
+        _ablation_job(kernel, nm, policy, config, paper_options(), verify)
+        for nm in patterns
+        for kernel in (BASELINE, PROPOSED)
+    ])
     rows = []
     speedups = {}
-    for nm in patterns:
-        workload = _ablation_workload(nm, policy)
-        opts = paper_options()
-        base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts,
-                        config, verify)
-        prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts,
-                        config, verify)
+    for nm, base, prop in zip(patterns, runs[0::2], runs[1::2]):
         speedup = base.stats.cycles / prop.stats.cycles
         reduction = 1 - prop.stats.vector_mem_instrs \
             / base.stats.vector_mem_instrs
@@ -389,33 +416,20 @@ def run_sparsity_sweep(policy: ScalePolicy = SMALL,
 def run_csr_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                      config: ProcessorConfig | None = None,
                      verify: bool = True) -> AblationResult:
-    """A4: unstructured CSR at equal density vs the structured kernels."""
-    from repro.arch.processor import DecoupledProcessor
-    from repro.kernels.spmm_csr import (
-        build_csr_spmm,
-        read_csr_result,
-        stage_csr,
-    )
-    from repro.sparse.csr import CSRMatrix
+    """A4: unstructured CSR at equal density vs the structured kernels.
 
+    The CSR run re-encodes the identical N:M matrix as plain CSR and
+    executes the format's own kernel (see ``repro.eval.runner.run_csr``,
+    reached through the engine under the ``csr-spmm`` pseudo-kernel).
+    """
     config = config or ProcessorConfig.scaled_default()
-    workload = _ablation_workload(nm, policy)
     opts = paper_options()
-    base = run_spmm(workload.a, workload.b, "rowwise-spmm", opts, config,
-                    verify)
-    prop = run_spmm(workload.a, workload.b, "indexmac-spmm", opts, config,
-                    verify)
-    # identical matrix, unstructured format + kernel
-    csr = CSRMatrix.from_dense(workload.a.to_dense())
-    proc = DecoupledProcessor(config)
-    staged = stage_csr(proc.mem, csr, workload.b)
-    proc.run(build_csr_spmm(staged))
-    if verify:
-        ref = workload.a.to_dense().astype(np.float64) @ \
-            workload.b.astype(np.float64)
-        got = read_csr_result(proc.mem, staged)
-        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-3)
-    csr_stats = proc.stats()
+    base, prop, csr_run = get_engine().run([
+        _ablation_job(BASELINE, nm, policy, config, opts, verify),
+        _ablation_job(PROPOSED, nm, policy, config, opts, verify),
+        _ablation_job(CSR_KERNEL, nm, policy, config, opts, verify),
+    ])
+    csr_stats = csr_run.stats
     rows = [
         ["CSR row-wise (unstructured)", csr_stats.cycles,
          csr_stats.cycles / prop.stats.cycles],

@@ -57,6 +57,45 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     return KernelRun(kernel=kernel, stats=proc.stats(), verified=verified)
 
 
+#: Pseudo-kernel name for the unstructured CSR baseline (A4); it has
+#: its own staging path, so the registry does not know it.
+CSR_KERNEL = "csr-spmm"
+
+
+def run_csr(a: NMSparseMatrix, b: np.ndarray,
+            config: ProcessorConfig | None = None,
+            verify: bool = True) -> KernelRun:
+    """Run the unstructured-CSR kernel on the same operands.
+
+    The N:M matrix is re-encoded as plain CSR (identical values and
+    density), staged through the CSR layout, and executed with the
+    format's own kernel — the A4 ablation's equal-density baseline.
+    """
+    from repro.kernels.spmm_csr import (
+        build_csr_spmm,
+        read_csr_result,
+        stage_csr,
+    )
+    from repro.sparse.csr import CSRMatrix
+
+    proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
+    csr = CSRMatrix.from_dense(a.to_dense())
+    staged = stage_csr(proc.mem, csr, b)
+    proc.run(build_csr_spmm(staged))
+    verified = False
+    if verify:
+        got = read_csr_result(proc.mem, staged)
+        ref = a.to_dense().astype(np.float64) @ b.astype(np.float64)
+        if not np.allclose(got, ref, rtol=1e-3, atol=1e-3):
+            worst = float(np.abs(got - ref).max())
+            raise SimulationError(
+                f"kernel {CSR_KERNEL!r} produced a wrong result "
+                f"(max abs error {worst:.3e})")
+        verified = True
+    return KernelRun(kernel=CSR_KERNEL, stats=proc.stats(),
+                     verified=verified)
+
+
 def run_layer(workload: LayerWorkload, kernel: str,
               options: KernelOptions | None = None,
               config: ProcessorConfig | None = None,

@@ -26,8 +26,7 @@ from __future__ import annotations
 import re
 
 from repro.errors import AssemblerError
-from repro.isa import registers as regs
-from repro.isa.instructions import I, Instr, Op
+from repro.isa.instructions import I, Instr
 from repro.isa.program import Program
 
 _LABEL_RE = re.compile(r"^([A-Za-z_.][\w.$]*):$")

@@ -28,6 +28,7 @@ from repro.nn.workload import (
     layer_seed,
     make_layer_workload,
     make_workload,
+    padded_gemm,
 )
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "list_models",
     "make_layer_workload",
     "make_workload",
+    "padded_gemm",
     "resnet50_classifier",
     "resnet50_layers",
     "total_macs",

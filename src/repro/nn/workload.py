@@ -90,6 +90,23 @@ class LayerWorkload:
         return self.original.macs / self.scaled.macs
 
 
+def padded_gemm(gemm: GemmShape, n: int, m: int,
+                policy: ScalePolicy = SMALL,
+                tile_rows: int = 16) -> GemmShape:
+    """The simulated GEMM shape of ``gemm`` after scaling and padding.
+
+    The single source of the padding arithmetic (k padded to a multiple
+    of ``lcm(tile_rows, m)``, n to a multiple of VL): it computes what
+    :func:`make_workload` materialises, without building the operand
+    arrays — used by the experiment engine to compute scale factors for
+    jobs whose arrays live in worker processes.
+    """
+    scaled = policy.scale(gemm)
+    lcm = int(tile_rows * m // np.gcd(tile_rows, m))
+    return GemmShape(rows=scaled.rows, k=_round_up(scaled.k, lcm),
+                     n=_round_up(scaled.n, _VL))
+
+
 def layer_seed(layer_name: str, n: int, m: int) -> int:
     """Deterministic per-layer RNG seed (stable across runs/processes)."""
     return zlib.crc32(f"{layer_name}:{n}:{m}".encode())
@@ -102,16 +119,17 @@ def make_workload(rows: int, k: int, n_cols: int, n: int, m: int,
 
     ``k`` is padded up to a multiple of ``lcm(tile_rows, m)`` (so the
     kernels' k-tiling divides evenly) and ``n_cols`` to a multiple of
-    VL=16.  Padded columns of A hold explicit zero blocks; padded B
-    rows/columns are zero.
+    VL=16 — the arithmetic lives in :func:`padded_gemm` (FULL policy =
+    no scaling).  Padded columns of A hold explicit zero blocks; padded
+    B rows/columns are zero.
     """
     if min(rows, k, n_cols, n, m) < 1 or n > m:
         raise WorkloadError(
             f"bad workload request rows={rows} k={k} n_cols={n_cols} "
             f"{n}:{m}")
-    lcm = tile_rows * m // np.gcd(tile_rows, m)
-    k_pad = _round_up(k, lcm)
-    n_pad = _round_up(n_cols, _VL)
+    padded = padded_gemm(GemmShape(rows=rows, k=k, n=n_cols), n, m,
+                         policy=FULL, tile_rows=tile_rows)
+    k_pad, n_pad = padded.k, padded.n
     dense = np.zeros((rows, k_pad), dtype=np.float32)
     dense[:, :k] = rng.standard_normal((rows, k)).astype(np.float32)
     # keep pruned survivors away from zero so nnz is exact

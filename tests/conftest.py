@@ -1,0 +1,32 @@
+"""Shared fixtures: keep the experiment engine hermetic under test.
+
+The engine memoises simulation results in an on-disk cache; tests must
+never read entries produced by a different code version (or leak
+entries into the developer's real cache), so the whole session runs
+against a temporary cache directory, and the process-default engine is
+reset around every test so each one sees a freshly configured engine.
+"""
+
+import pytest
+
+from repro.eval.engine import set_engine
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("simcache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_engine():
+    set_engine(None)
+    yield
+    set_engine(None)

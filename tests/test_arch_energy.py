@@ -51,7 +51,10 @@ def test_proposed_kernel_uses_less_energy():
     prop = run_stats(build_indexmac_spmm)
     assert energy_ratio(base, prop) < 1.0
     base_rep, prop_rep = energy_of(base), energy_of(prop)
-    non_dram = lambda rep: rep.total_pj - rep.breakdown_pj["dram"]
+
+    def non_dram(rep):
+        return rep.total_pj - rep.breakdown_pj["dram"]
+
     assert non_dram(prop_rep) < 0.85 * non_dram(base_rep)
     assert prop_rep.breakdown_pj["l2"] < base_rep.breakdown_pj["l2"]
     assert prop_rep.breakdown_pj["v2s transfers"] < \

@@ -1,7 +1,6 @@
 """Timing-model invariants (property and stress tests)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

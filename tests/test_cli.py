@@ -51,6 +51,36 @@ def test_fig4_tiny(capsys):
     code, out = run_cli(capsys, "fig4", "--policy", "tiny")
     assert code == 0
     assert "Fig. 4" in out
+    assert "engine:" in out  # the engine summary trailer
+
+
+def test_bench_writes_artifacts(capsys, tmp_path):
+    out_dir = tmp_path / "results"
+    code, out = run_cli(capsys, "bench", "--artifacts", "table1", "a3",
+                        "--policy", "tiny", "--out", str(out_dir))
+    assert code == 0
+    assert "2 artifact(s)" in out
+    assert "simulations" in out
+    assert "TABLE I" in (out_dir / "table1.txt").read_text()
+    assert "A3" in (out_dir / "ablation_tile_rows.txt").read_text()
+
+
+def test_bench_show_prints_renders(capsys, tmp_path):
+    code, out = run_cli(capsys, "bench", "--artifacts", "table1",
+                        "--show", "--out", str(tmp_path))
+    assert code == 0
+    assert "TABLE I" in out
+
+
+def test_bench_rejects_unknown_artifact(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench", "--artifacts", "fig7", "--out", str(tmp_path)])
+
+
+def test_quickcheck_parallel(capsys):
+    code, out = run_cli(capsys, "quickcheck", "--jobs", "2")
+    assert code == 0
+    assert "FAIL" not in out
 
 
 def test_unknown_command_rejected():

@@ -1,0 +1,213 @@
+"""Tests for the parallel, cached experiment engine."""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.arch import ProcessorConfig
+from repro.errors import EngineError
+from repro.eval.comparison import BASELINE, PROPOSED
+from repro.eval.engine import (
+    ExperimentEngine,
+    ResultCache,
+    SimJob,
+    execute_job,
+    job_hash,
+)
+from repro.eval.runner import CSR_KERNEL
+from repro.nn import TINY, ScalePolicy
+
+CFG = ProcessorConfig.scaled_default()
+
+
+def tiny_job(kernel=PROPOSED, nm=(1, 4), seed=0):
+    return SimJob.for_shape(8, 32, 16, nm, kernel, seed=seed, config=CFG)
+
+
+def runs_equal(a, b) -> bool:
+    """Bit-exact equality of two KernelRun results."""
+    return (a.kernel == b.kernel and a.verified == b.verified
+            and asdict(a.stats) == asdict(b.stats))
+
+
+# ----------------------------------------------------------------------
+# SimJob construction + hashing
+# ----------------------------------------------------------------------
+def test_job_needs_exactly_one_workload_source():
+    with pytest.raises(EngineError):
+        SimJob(kernel=PROPOSED, nm=(1, 4))  # neither source
+    with pytest.raises(EngineError):
+        SimJob(kernel=PROPOSED, nm=(1, 4), model="resnet50",
+               layer="conv1", policy=TINY, shape=(8, 32, 16), seed=0)
+
+
+def test_job_hash_deterministic_and_content_sensitive():
+    assert job_hash(tiny_job()) == job_hash(tiny_job())
+    assert job_hash(tiny_job()) != job_hash(tiny_job(seed=1))
+    assert job_hash(tiny_job()) != job_hash(tiny_job(kernel=BASELINE))
+    assert job_hash(tiny_job()) != job_hash(tiny_job(nm=(2, 4)))
+
+
+def test_job_hash_stable_across_processes():
+    """The disk cache is shared between runs and between pool workers,
+    so the content hash must not depend on process state (PYTHONHASHSEED,
+    dict order, enum identity...)."""
+    code = (
+        "from repro.arch import ProcessorConfig\n"
+        "from repro.eval.engine import SimJob, job_hash\n"
+        "job = SimJob.for_shape(8, 32, 16, (1, 4), 'indexmac-spmm',\n"
+        "                       seed=0,\n"
+        "                       config=ProcessorConfig.scaled_default())\n"
+        "print(job_hash(job))\n")
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = {**os.environ, "PYTHONPATH": src_dir}
+    hashes = set()
+    for seed in ("1", "2"):  # different hash randomization per child
+        env["PYTHONHASHSEED"] = seed
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        hashes.add(out.stdout.strip())
+    assert hashes == {job_hash(tiny_job())}
+
+
+# ----------------------------------------------------------------------
+# Cache semantics
+# ----------------------------------------------------------------------
+def test_cache_miss_then_hit(tmp_path):
+    job = tiny_job()
+    cold = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    first = cold.run([job])[0]
+    assert cold.counters.simulated == 1
+    assert cold.counters.disk_hits == 0
+    warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    second = warm.run([job])[0]
+    assert warm.counters.simulated == 0
+    assert warm.counters.disk_hits == 1
+    assert runs_equal(first, second)
+
+
+def test_in_process_memo_and_batch_dedup(tmp_path):
+    job = tiny_job()
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    a, b = engine.run([job, job])  # duplicate within one batch
+    assert engine.counters.simulated == 1
+    assert engine.counters.memo_hits == 1  # the in-batch duplicate
+    assert runs_equal(a, b)
+    engine.run([job])
+    assert engine.counters.memo_hits == 2
+    assert engine.counters.simulated == 1
+    assert engine.counters.total == 3  # every requested job accounted
+
+
+def test_cache_disabled_always_simulates(tmp_path):
+    job = tiny_job()
+    engine = ExperimentEngine(jobs=1, cache=False, cache_dir=tmp_path)
+    engine.run([job])
+    again = ExperimentEngine(jobs=1, cache=False, cache_dir=tmp_path)
+    again.run([job])
+    assert again.counters.simulated == 1
+    assert list(tmp_path.iterdir()) == []  # nothing written
+
+
+def test_corrupted_cache_file_recovers(tmp_path):
+    job = tiny_job()
+    first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    reference = first.run([job])[0]
+    path = ResultCache(tmp_path).path(job_hash(job))
+    path.write_text("{ not json !!!")
+    healed = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    rerun = healed.run([job])[0]
+    assert healed.counters.simulated == 1  # corruption -> miss
+    assert runs_equal(rerun, reference)
+    json.loads(path.read_text())  # entry was rewritten valid
+    warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    warm.run([job])
+    assert warm.counters.disk_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+def test_parallel_results_match_serial_bit_exactly():
+    jobs = [tiny_job(kernel, nm)
+            for nm in ((1, 4), (2, 4))
+            for kernel in (BASELINE, PROPOSED)]
+    serial = ExperimentEngine(jobs=1, cache=False).run(jobs)
+    parallel = ExperimentEngine(jobs=2, cache=False).run(jobs)
+    assert len(serial) == len(parallel) == len(jobs)
+    for s, p in zip(serial, parallel):
+        assert runs_equal(s, p)
+
+
+# ----------------------------------------------------------------------
+# Job execution paths
+# ----------------------------------------------------------------------
+def test_layer_job_executes_and_verifies():
+    job = SimJob.for_layer("resnet50", "conv1", (1, 4), TINY,
+                           PROPOSED, config=CFG)
+    run = execute_job(job)
+    assert run.verified
+    assert run.cycles > 0
+
+
+def test_custom_policy_travels_by_value():
+    """An unregistered ScalePolicy works, and must not alias a
+    registered policy that shares its name."""
+    lookalike = ScalePolicy("tiny", 64, (4, 8), 32, (16, 32),
+                            128, (16, 16))
+    custom = SimJob.for_layer("resnet50", "conv1", (1, 4), lookalike,
+                              PROPOSED, config=CFG)
+    registered = SimJob.for_layer("resnet50", "conv1", (1, 4), TINY,
+                                  PROPOSED, config=CFG)
+    assert job_hash(custom) != job_hash(registered)
+    run = execute_job(custom)
+    assert run.verified
+    assert run.cycles > 0
+
+
+def test_csr_pseudo_kernel_job():
+    run = execute_job(tiny_job(kernel=CSR_KERNEL))
+    assert run.kernel == CSR_KERNEL
+    assert run.verified
+    assert run.cycles > 0
+
+
+def test_unknown_layer_rejected():
+    job = SimJob.for_layer("resnet50", "no_such_layer", (1, 4), TINY,
+                           PROPOSED, config=CFG)
+    with pytest.raises(EngineError):
+        execute_job(job)
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the CLI (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_bench_warm_cache_performs_zero_simulations(tmp_path, capsys,
+                                                    monkeypatch):
+    """`repro bench` on a warm cache re-renders identical artifacts
+    without a single new simulation, as reported by the engine summary."""
+    from repro.cli import main
+    from repro.eval import clear_cache
+    from repro.eval.engine import set_engine
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    argv = ["bench", "--artifacts", "fig4", "--policy", "tiny",
+            "--out", str(tmp_path / "out")]
+    clear_cache()  # drop comparisons memoised by earlier tests
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "engine: 0 simulations" not in cold
+    cold_text = (tmp_path / "out" / "fig4.txt").read_text()
+
+    clear_cache()
+    set_engine(None)
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "engine: 0 simulations" in warm
+    assert (tmp_path / "out" / "fig4.txt").read_text() == cold_text

@@ -5,7 +5,7 @@ import pytest
 
 from repro.arch import DecoupledProcessor, ProcessorConfig
 from repro.errors import DecodingError
-from repro.isa import I, Op, assemble, decode, encode
+from repro.isa import I, assemble, decode, encode
 
 VL = 16
 
