@@ -1,0 +1,163 @@
+"""Timing-backend cross-validation on the ResNet-50 layer set.
+
+Two claims are demonstrated, each with the numbers that back it:
+
+1. **Figure accuracy** — at the experiment scale every Fig. 4 per-layer
+   speedup ratio computed by ``compressed-replay`` is within +-2% of
+   ``detailed``, the Fig. 5 total-CNN ratio matches, and the Fig. 6
+   vector-memory-access counts are *exact* (they are extrapolated from
+   identical per-iteration instruction mixes, so no tolerance is
+   needed).
+
+2. **Compression** — on steady-state-dominated replications of the
+   layer set (rows scaled up instead of down, approximating batched
+   inference), ``compressed-replay`` assigns detailed timing to >= 10x
+   fewer instructions while the speedup ratios stay within tolerance.
+
+Set ``REPRO_BENCH_POLICY`` as usual for the accuracy half; the
+compression half uses its own tall replication scale.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import config_from_env, policy_from_env, publish  # noqa: E402
+
+import numpy as np
+
+from repro.arch import DecoupledProcessor
+from repro.arch.timing import COMPRESSED_REPLAY, DETAILED, get_backend
+from repro.eval.report import format_table
+from repro.kernels import KernelOptions, get_trace_kernel, stage_spmm
+from repro.nn.models import get_model, unique_gemm_layers
+from repro.nn.workload import make_layer_workload
+
+BASELINE, PROPOSED = "rowwise-spmm", "indexmac-spmm"
+
+#: Tall replication of the layer set for the compression half: rows are
+#: kept (clamped into a steady-state-dominated band, approximating a
+#: batched im2col GEMM); K and N are trimmed to keep runtime modest.
+from repro.nn.workload import ScalePolicy  # noqa: E402
+
+REPLAY_SCALE = ScalePolicy("replay-bench", 1, (256, 1024), 4, (32, 128),
+                           16, (16, 32))
+
+
+def _run(kernel, workload, backend, config):
+    proc = DecoupledProcessor(config)
+    staged = stage_spmm(proc.mem, workload.a, workload.b)
+    trace = get_trace_kernel(kernel)(staged, KernelOptions())
+    return get_backend(backend).run(proc, trace)
+
+
+def _layer_table(policy, config, nm=(1, 4)):
+    rows = []
+    timed = dynamic = 0
+    totals = {(k, b): 0.0 for k in (BASELINE, PROPOSED)
+              for b in (DETAILED, COMPRESSED_REPLAY)}
+    for layer, mult in unique_gemm_layers(get_model("resnet50")):
+        workload = make_layer_workload(layer, *nm, policy=policy)
+        results = {}
+        for kernel in (BASELINE, PROPOSED):
+            for backend in (DETAILED, COMPRESSED_REPLAY):
+                res = _run(kernel, workload, backend, config)
+                results[(kernel, backend)] = res
+                totals[(kernel, backend)] += mult * res.stats.cycles
+                if backend == COMPRESSED_REPLAY:
+                    timed += res.timed_instructions
+                    dynamic += res.dynamic_instructions
+        det = results[(BASELINE, DETAILED)].stats.cycles \
+            / results[(PROPOSED, DETAILED)].stats.cycles
+        com = results[(BASELINE, COMPRESSED_REPLAY)].stats.cycles \
+            / results[(PROPOSED, COMPRESSED_REPLAY)].stats.cycles
+        mem_exact = all(
+            results[(k, DETAILED)].stats.vector_mem_instrs
+            == results[(k, COMPRESSED_REPLAY)].stats.vector_mem_instrs
+            for k in (BASELINE, PROPOSED))
+        rows.append([layer.name, det, com, f"{abs(com - det) / det:.2%}",
+                     "exact" if mem_exact else "DIFFER"])
+    agg_det = totals[(BASELINE, DETAILED)] / totals[(PROPOSED, DETAILED)]
+    agg_com = totals[(BASELINE, COMPRESSED_REPLAY)] \
+        / totals[(PROPOSED, COMPRESSED_REPLAY)]
+    return rows, (agg_det, agg_com), timed, dynamic
+
+
+def bench_backend_accuracy(benchmark, capsys):
+    """Fig. 4-6 ratios under compressed-replay at the figure scale."""
+    policy = policy_from_env()
+    config = config_from_env()
+    rows, (agg_det, agg_com), timed, dynamic = benchmark.pedantic(
+        lambda: _layer_table(policy, config), rounds=1, iterations=1)
+
+    errors = [abs(r[2] - r[1]) / r[1] for r in rows]
+    assert max(errors) <= 0.02, \
+        f"worst per-layer speedup-ratio error {max(errors):.2%}"
+    assert abs(agg_com - agg_det) / agg_det <= 0.02
+    assert all(r[4] == "exact" for r in rows), "Fig. 6 counts must be exact"
+
+    text = format_table(
+        ["layer", "speedup (detailed)", "speedup (compressed)",
+         "ratio error", "Fig.6 counts"],
+        rows,
+        title=(f"Backend cross-validation, policy {policy.name!r}, 1:4 — "
+               f"total speedup {agg_det:.3f} vs {agg_com:.3f}, "
+               f"{dynamic / max(timed, 1):.1f}x fewer timed instructions"))
+    publish("backend_accuracy", text, capsys)
+
+
+def bench_backend_compression(benchmark, capsys):
+    """>= 10x fewer timed instructions on tall layer replications."""
+    config = config_from_env()
+    #: the steady-state-dominated band of the layer set — every layer
+    #: whose scaled GEMM runs >= 256 unrolled row-loop iterations
+    names = ["conv2_1_1x1b", "conv3_1_1x1b", "conv4_1_1x1b",
+             "conv4_1_proj", "conv5_1_1x1b", "conv5_1_proj"]
+    layers = {l.name: l for l, _ in
+              unique_gemm_layers(get_model("resnet50"))}
+
+    def run_set():
+        rows = []
+        timed = dynamic = 0
+        for name in names:
+            workload = make_layer_workload(layers[name], 1, 4,
+                                           policy=REPLAY_SCALE)
+            results = {}
+            for kernel in (BASELINE, PROPOSED):
+                for backend in (DETAILED, COMPRESSED_REPLAY):
+                    res = _run(kernel, workload, backend, config)
+                    results[(kernel, backend)] = res
+                    if backend == COMPRESSED_REPLAY:
+                        timed += res.timed_instructions
+                        dynamic += res.dynamic_instructions
+            det = results[(BASELINE, DETAILED)].stats.cycles \
+                / results[(PROPOSED, DETAILED)].stats.cycles
+            com = results[(BASELINE, COMPRESSED_REPLAY)].stats.cycles \
+                / results[(PROPOSED, COMPRESSED_REPLAY)].stats.cycles
+            layer_timed = sum(
+                results[(k, COMPRESSED_REPLAY)].timed_instructions
+                for k in (BASELINE, PROPOSED))
+            layer_dyn = sum(
+                results[(k, COMPRESSED_REPLAY)].dynamic_instructions
+                for k in (BASELINE, PROPOSED))
+            rows.append([name, workload.a.rows, det, com,
+                         f"{abs(com - det) / det:.2%}", layer_timed,
+                         layer_dyn, f"{layer_dyn / layer_timed:.1f}x"])
+        return rows, timed, dynamic
+
+    rows, timed, dynamic = benchmark.pedantic(run_set, rounds=1,
+                                              iterations=1)
+    compression = dynamic / timed
+    assert compression >= 10.0, f"only {compression:.1f}x"
+    errors = [abs(r[3] - r[2]) / r[2] for r in rows]
+    assert float(np.mean(errors)) <= 0.02, \
+        f"mean speedup-ratio error {np.mean(errors):.2%}"
+
+    text = format_table(
+        ["layer", "rows", "speedup (det)", "speedup (compressed)",
+         "ratio err", "timed instrs", "dynamic instrs", "compression"],
+        rows,
+        title=(f"Compressed-replay compression on tall layer "
+               f"replications — {compression:.1f}x fewer timed "
+               f"instructions overall"))
+    publish("backend_compression", text, capsys)

@@ -9,7 +9,9 @@ Simulation-backed benches run through the experiment engine:
 ``REPRO_JOBS`` selects the worker-process count (``0`` = one per CPU)
 and ``REPRO_NO_CACHE`` disables the on-disk result cache — with the
 cache enabled (the default), a re-run of the suite re-renders every
-artifact without re-simulating.
+artifact without re-simulating.  ``REPRO_BACKEND`` selects the timing
+backend (``detailed``/``compressed-replay``); the backend is part of
+every job's cache identity, so switching backends never mixes results.
 """
 
 from __future__ import annotations

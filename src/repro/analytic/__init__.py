@@ -13,9 +13,18 @@ from repro.analytic.cyclemodel import (
     estimate_cycles,
     estimate_speedup,
 )
-from repro.analytic.validation import StreamCount, count_kernel, count_stream
+from repro.analytic.validation import (
+    BACKEND_CYCLE_TOLERANCE,
+    BackendValidation,
+    StreamCount,
+    count_kernel,
+    count_stream,
+    validate_backend,
+)
 
 __all__ = [
+    "BACKEND_CYCLE_TOLERANCE",
+    "BackendValidation",
     "CycleEstimate",
     "KernelCost",
     "SpmmGeometry",
@@ -28,4 +37,5 @@ __all__ = [
     "memory_access_reduction",
     "rowwise_spmm_cost",
     "spmm_cost",
+    "validate_backend",
 ]

@@ -1,8 +1,21 @@
-"""Cross-validation of the analytic model against generated streams."""
+"""Cross-validation of the analytic model and of the timing backends.
+
+Two validators live here:
+
+* :func:`count_kernel` checks the closed-form cost model against the
+  instruction stream a kernel builder actually generates;
+* :func:`validate_backend` is the tolerance gate for timing backends —
+  it runs the same workload under ``detailed`` and a candidate backend
+  (default ``compressed-replay``) and checks that functional results
+  are bit-exact, that memory-access counts match exactly, and that
+  cycles agree within :data:`BACKEND_CYCLE_TOLERANCE`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.isa.instructions import (
     VECTOR_MEM_OPS,
@@ -58,3 +71,109 @@ def count_kernel(kernel: str, staged, options: KernelOptions | None = None
     """Counts from actually generating the kernel's stream."""
     builder = get_kernel(kernel)
     return count_stream(builder(staged, options or KernelOptions()))
+
+
+# ======================================================================
+# Timing-backend tolerance gate
+# ======================================================================
+#: Documented accuracy contract of ``compressed-replay`` against
+#: ``detailed`` at the experiment scales: relative cycle error per run.
+#: Functional results and memory-access counts must match exactly.
+BACKEND_CYCLE_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class BackendValidation:
+    """Comparison of one workload under two timing backends."""
+
+    kernel: str
+    backend: str
+    tolerance: float
+    detailed_cycles: float
+    candidate_cycles: float
+    detailed_vector_mem: int
+    candidate_vector_mem: int
+    detailed_l2_misses: int
+    candidate_l2_misses: int
+    timed_instructions: int
+    dynamic_instructions: int
+    results_bitexact: bool
+
+    @property
+    def cycle_error(self) -> float:
+        """Relative cycle disagreement of the candidate backend."""
+        if not self.detailed_cycles:
+            return 0.0
+        return abs(self.candidate_cycles - self.detailed_cycles) \
+            / self.detailed_cycles
+
+    @property
+    def counts_exact(self) -> bool:
+        """Memory-access counts (the Fig. 6 metric) must match exactly."""
+        return (self.detailed_vector_mem == self.candidate_vector_mem
+                and self.detailed_l2_misses == self.candidate_l2_misses)
+
+    @property
+    def compression(self) -> float:
+        """Dynamic-to-timed instruction ratio of the candidate run."""
+        if not self.timed_instructions:
+            return 1.0
+        return self.dynamic_instructions / self.timed_instructions
+
+    @property
+    def ok(self) -> bool:
+        return (self.results_bitexact and self.counts_exact
+                and self.cycle_error <= self.tolerance)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (f"{self.kernel}: cycles {self.candidate_cycles:,.0f} vs "
+                f"{self.detailed_cycles:,.0f} "
+                f"({self.cycle_error:.2%} <= {self.tolerance:.0%}), "
+                f"mem counts {'exact' if self.counts_exact else 'DIFFER'}, "
+                f"results {'bit-exact' if self.results_bitexact else 'WRONG'}"
+                f", {self.compression:.1f}x fewer timed instructions "
+                f"[{status}]")
+
+
+def validate_backend(a, b, kernel: str,
+                     options: KernelOptions | None = None,
+                     config=None,
+                     backend: str = "compressed-replay",
+                     tolerance: float = BACKEND_CYCLE_TOLERANCE
+                     ) -> BackendValidation:
+    """Gate a timing backend against ``detailed`` on ``C = A x B``.
+
+    Both backends run the same staged workload from scratch; the
+    returned record reports bit-exactness of C, exactness of the
+    memory-access counts, the relative cycle error against the
+    documented tolerance, and the timed-instruction compression.
+    """
+    from repro.arch.config import ProcessorConfig
+    from repro.arch.processor import DecoupledProcessor
+    from repro.arch.timing import get_backend
+    from repro.kernels.layout import read_result, stage_spmm
+    from repro.kernels.registry import get_trace_kernel
+
+    options = options or KernelOptions()
+    results = {}
+    for name in ("detailed", backend):
+        proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
+        staged = stage_spmm(proc.mem, a, b)
+        trace = get_trace_kernel(kernel)(staged, options)
+        outcome = get_backend(name).run(proc, trace)
+        results[name] = (outcome, read_result(proc.mem, staged))
+    det, det_c = results["detailed"]
+    cand, cand_c = results[backend]
+    return BackendValidation(
+        kernel=kernel, backend=backend, tolerance=tolerance,
+        detailed_cycles=det.stats.cycles,
+        candidate_cycles=cand.stats.cycles,
+        detailed_vector_mem=det.stats.vector_mem_instrs,
+        candidate_vector_mem=cand.stats.vector_mem_instrs,
+        detailed_l2_misses=det.stats.l2_misses,
+        candidate_l2_misses=cand.stats.l2_misses,
+        timed_instructions=cand.timed_instructions,
+        dynamic_instructions=cand.dynamic_instructions,
+        results_bitexact=bool(np.array_equal(det_c, cand_c)),
+    )

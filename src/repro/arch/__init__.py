@@ -10,6 +10,7 @@ from repro.arch.config import (
 )
 from repro.arch.dram import DramModel
 from repro.arch.energy import EnergyModel, EnergyReport, energy_of, energy_ratio
+from repro.arch.functional import FunctionalCore
 from repro.arch.hierarchy import MemoryHierarchy
 from repro.arch.interpreter import Interpreter
 from repro.arch.memory import FlatMemory
@@ -38,6 +39,7 @@ __all__ = [
     "energy_ratio",
     "FlatMemory",
     "FpRegisterFile",
+    "FunctionalCore",
     "IntRegisterFile",
     "Interpreter",
     "MemoryHierarchy",

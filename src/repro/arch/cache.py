@@ -91,6 +91,17 @@ class SetAssociativeCache:
     def reset_stats(self) -> None:
         self.hits = self.misses = self.writebacks = 0
 
+    def shift(self, dt: float) -> None:
+        """Advance all bank clocks by ``dt`` cycles."""
+        self._bank_free = [t + dt for t in self._bank_free]
+
+    def clock_state(self) -> list[float]:
+        """Snapshot of the bank clocks (tags/stats not included)."""
+        return list(self._bank_free)
+
+    def restore_clock_state(self, state: list[float]) -> None:
+        self._bank_free = list(state)
+
     def flush(self) -> None:
         """Drop all cached lines (dirty data is functionally in memory)."""
         for ways in self._sets:

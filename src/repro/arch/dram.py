@@ -57,3 +57,14 @@ class DramModel:
     def reset_stats(self) -> None:
         self.reads = self.writes = 0
         self.row_hits = self.row_misses = 0
+
+    def shift(self, dt: float) -> None:
+        """Advance the channel clock by ``dt`` cycles."""
+        self._next_free += dt
+
+    def clock_state(self) -> float:
+        """Snapshot of the channel clock (row/stat state not included)."""
+        return self._next_free
+
+    def restore_clock_state(self, state: float) -> None:
+        self._next_free = state

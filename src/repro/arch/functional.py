@@ -1,0 +1,476 @@
+"""Bit-exact functional semantics of the RV64IM + RVV subset.
+
+This module is the single source of truth for *what every instruction
+does* to architectural state — scalar/FP/vector registers and memory —
+with no notion of time.  :class:`repro.arch.processor.DecoupledProcessor`
+composes a :class:`FunctionalCore` with the timing model, and the
+``compressed-replay`` timing backend drives the core directly to execute
+the iterations it does not time, so kernel results stay bit-exact no
+matter which backend produced the cycle numbers.
+
+Control flow mirrors the processor's trace-mode contract: handlers
+return ``None`` for straight-line instructions, a byte offset for a
+taken branch, ``("jump", imm)`` for ``jal`` and ``("jump_abs", target)``
+for ``jalr`` (link registers are patched by the ISS, which knows the
+program counter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import ProcessorConfig
+from repro.arch.memory import FlatMemory
+from repro.arch.regfile import FpRegisterFile, IntRegisterFile, to_unsigned64
+from repro.arch.vrf import VectorRegisterFile
+from repro.errors import SimulationError
+from repro.isa.instructions import Instr, Op
+
+
+def _i32(value: int) -> np.int32:
+    """Truncate a Python int to a signed 32-bit numpy scalar."""
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 1 << 32
+    return np.int32(value)
+
+
+class FunctionalCore:
+    """Architectural state + bit-exact execution, no timing."""
+
+    def __init__(self, config: ProcessorConfig | None = None,
+                 memory: FlatMemory | None = None):
+        self.config = config or ProcessorConfig.paper_default()
+        self.mem = memory or FlatMemory(self.config.memory_bytes)
+        self.xrf = IntRegisterFile()
+        self.frf = FpRegisterFile()
+        vcfg = self.config.vector
+        self.vrf = VectorRegisterFile(vcfg.num_vregs, vcfg.vlmax)
+        self.vl = vcfg.vlmax
+        self.handlers = self._build_handlers()
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def execute(self, instr: Instr):
+        """Execute one instruction; returns control-flow info."""
+        return self.handlers[instr.op](instr)
+
+    def run(self, stream) -> None:
+        """Execute a dynamic stream functionally (trace mode)."""
+        handlers = self.handlers
+        for instr in stream:
+            handlers[instr.op](instr)
+
+    # ==================================================================
+    # handler construction
+    # ==================================================================
+    def _build_handlers(self):
+        h = {}
+        # scalar ALU register-register
+        h[Op.ADD] = self._make_alu_rr(lambda a, b: a + b)
+        h[Op.SUB] = self._make_alu_rr(lambda a, b: a - b)
+        h[Op.AND] = self._make_alu_rr(lambda a, b: a & b)
+        h[Op.OR] = self._make_alu_rr(lambda a, b: a | b)
+        h[Op.XOR] = self._make_alu_rr(lambda a, b: a ^ b)
+        h[Op.SLL] = self._make_alu_rr(lambda a, b: a << (b & 63))
+        h[Op.SRL] = self._make_alu_rr(
+            lambda a, b: to_unsigned64(a) >> (b & 63))
+        h[Op.SRA] = self._make_alu_rr(lambda a, b: a >> (b & 63))
+        h[Op.SLT] = self._make_alu_rr(lambda a, b: int(a < b))
+        h[Op.SLTU] = self._make_alu_rr(
+            lambda a, b: int(to_unsigned64(a) < to_unsigned64(b)))
+        h[Op.MUL] = self._make_alu_rr(lambda a, b: a * b)
+        # scalar ALU immediate
+        h[Op.ADDI] = self._make_alu_ri(lambda a, i: a + i)
+        h[Op.ANDI] = self._make_alu_ri(lambda a, i: a & i)
+        h[Op.ORI] = self._make_alu_ri(lambda a, i: a | i)
+        h[Op.XORI] = self._make_alu_ri(lambda a, i: a ^ i)
+        h[Op.SLLI] = self._make_alu_ri(lambda a, i: a << i)
+        h[Op.SRLI] = self._make_alu_ri(lambda a, i: to_unsigned64(a) >> i)
+        h[Op.SRAI] = self._make_alu_ri(lambda a, i: a >> i)
+        h[Op.SLTI] = self._make_alu_ri(lambda a, i: int(a < i))
+        h[Op.SLTIU] = self._make_alu_ri(
+            lambda a, i: int(to_unsigned64(a) < to_unsigned64(i)))
+        h[Op.LUI] = self._lui
+        h[Op.AUIPC] = self._lui  # pc-relative not used in trace mode
+        # scalar memory
+        for op in (Op.LB, Op.LBU, Op.LH, Op.LHU, Op.LW, Op.LWU, Op.LD):
+            h[op] = self._scalar_load
+        h[Op.FLW] = self._scalar_load_fp
+        for op in (Op.SB, Op.SH, Op.SW, Op.SD):
+            h[op] = self._scalar_store
+        h[Op.FSW] = self._scalar_store_fp
+        # control flow
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+            h[op] = self._branch
+        h[Op.JAL] = self._jal
+        h[Op.JALR] = self._jalr
+        # vector
+        h[Op.VSETVLI] = self._vsetvli
+        h[Op.VLE32] = self._vle32
+        h[Op.VSE32] = self._vse32
+        h[Op.VADD_VX] = self._make_vx_i32(lambda a, s: a + s)
+        h[Op.VADD_VI] = self._make_vi_i32(lambda a, s: a + s)
+        h[Op.VADD_VV] = self._make_vv_i32(lambda a, b: a + b)
+        h[Op.VMUL_VX] = self._make_vx_i32(lambda a, s: a * s)
+        h[Op.VFMACC_VF] = self._vfmacc_vf
+        h[Op.VFMACC_VV] = self._vfmacc_vv
+        h[Op.VFMUL_VF] = self._make_vf_f32(lambda a, s: a * s)
+        h[Op.VSLIDE1DOWN_VX] = self._vslide1down_vx
+        h[Op.VSLIDEDOWN_VX] = self._vslidedown_vx
+        h[Op.VSLIDEDOWN_VI] = self._vslidedown_vi
+        h[Op.VMV_V_I] = self._vmv_v_i
+        h[Op.VMV_V_X] = self._vmv_v_x
+        h[Op.VMV_V_V] = self._vmv_v_v
+        h[Op.VMV_X_S] = self._vmv_x_s
+        h[Op.VFMV_F_S] = self._vfmv_f_s
+        h[Op.VFMV_S_F] = self._vfmv_s_f
+        h[Op.VINDEXMAC_VX] = self._vindexmac_vx
+        # wider RVV subset (elementwise, generated handlers)
+        h[Op.VSUB_VV] = self._make_vv_i32(lambda a, b: a - b)
+        h[Op.VSUB_VX] = self._make_vx_i32(lambda a, s: a - s)
+        h[Op.VRSUB_VX] = self._make_vx_i32(lambda a, s: s - a)
+        h[Op.VRSUB_VI] = self._make_vi_i32(lambda a, s: s - a)
+        h[Op.VAND_VV] = self._make_vv_i32(lambda a, b: a & b)
+        h[Op.VAND_VX] = self._make_vx_i32(lambda a, s: a & s)
+        h[Op.VOR_VV] = self._make_vv_i32(lambda a, b: a | b)
+        h[Op.VOR_VX] = self._make_vx_i32(lambda a, s: a | s)
+        h[Op.VXOR_VV] = self._make_vv_i32(lambda a, b: a ^ b)
+        h[Op.VXOR_VX] = self._make_vx_i32(lambda a, s: a ^ s)
+        h[Op.VMIN_VV] = self._make_vv_i32(np.minimum)
+        h[Op.VMIN_VX] = self._make_vx_i32(np.minimum)
+        h[Op.VMAX_VV] = self._make_vv_i32(np.maximum)
+        h[Op.VMAX_VX] = self._make_vx_i32(np.maximum)
+        h[Op.VMINU_VV] = self._make_vv_u32(np.minimum)
+        h[Op.VMINU_VX] = self._make_vx_u32(np.minimum)
+        h[Op.VMAXU_VV] = self._make_vv_u32(np.maximum)
+        h[Op.VMAXU_VX] = self._make_vx_u32(np.maximum)
+        h[Op.VMUL_VV] = self._make_vv_i32(lambda a, b: a * b)
+        h[Op.VMACC_VV] = self._vmacc_vv
+        h[Op.VMACC_VX] = self._vmacc_vx
+        h[Op.VREDSUM_VS] = self._vredsum_vs
+        h[Op.VFADD_VV] = self._make_vv_f32(lambda a, b: a + b)
+        h[Op.VFADD_VF] = self._make_vf_f32(lambda a, s: a + s)
+        h[Op.VFSUB_VV] = self._make_vv_f32(lambda a, b: a - b)
+        h[Op.VFSUB_VF] = self._make_vf_f32(lambda a, s: a - s)
+        h[Op.VFMUL_VV] = self._make_vv_f32(lambda a, b: a * b)
+        h[Op.VFREDUSUM_VS] = self._vfredusum_vs
+        h[Op.VSLIDEUP_VX] = self._vslideup_vx
+        h[Op.VSLIDEUP_VI] = self._vslideup_vi
+        h[Op.VSLIDE1UP_VX] = self._vslide1up_vx
+        h[Op.VMV_S_X] = self._vmv_s_x
+        h[Op.VID_V] = self._vid_v
+        return h
+
+    # ==================================================================
+    # scalar handlers
+    # ==================================================================
+    def _make_alu_rr(self, fn):
+        def handler(instr: Instr):
+            xv = self.xrf.values
+            self.xrf.write(instr.rd, fn(xv[instr.rs1], xv[instr.rs2]))
+            return None
+        return handler
+
+    def _make_alu_ri(self, fn):
+        def handler(instr: Instr):
+            self.xrf.write(instr.rd, fn(self.xrf.values[instr.rs1],
+                                        instr.imm))
+            return None
+        return handler
+
+    def _lui(self, instr: Instr):
+        value = instr.imm << 12
+        if value & 0x80000000:  # RV64: LUI sign-extends bit 31
+            value -= 1 << 32
+        self.xrf.write(instr.rd, value)
+        return None
+
+    _LOAD_SIZES = {
+        Op.LB: (1, True), Op.LBU: (1, False), Op.LH: (2, True),
+        Op.LHU: (2, False), Op.LW: (4, True), Op.LWU: (4, False),
+        Op.LD: (8, True),
+    }
+
+    def _scalar_load(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1] + instr.imm
+        size, signed = self._LOAD_SIZES[instr.op]
+        mem = self.mem
+        if size == 1:
+            value = mem.load_u8(addr)
+        elif size == 2:
+            value = mem.load_u16(addr)
+        elif size == 4:
+            value = mem.load_u32(addr)
+        else:
+            value = mem.load_u64(addr)
+        if signed and size < 8 and value & (1 << (8 * size - 1)):
+            value -= 1 << (8 * size)
+        self.xrf.write(instr.rd, value)
+        return None
+
+    def _scalar_load_fp(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1] + instr.imm
+        self.frf.write(instr.rd, self.mem.load_f32(addr))
+        return None
+
+    _STORE_SIZES = {Op.SB: 1, Op.SH: 2, Op.SW: 4, Op.SD: 8}
+
+    def _scalar_store(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1] + instr.imm
+        size = self._STORE_SIZES[instr.op]
+        value = self.xrf.values[instr.rs2]
+        mem = self.mem
+        if size == 1:
+            mem.store_u8(addr, value)
+        elif size == 2:
+            mem.store_u16(addr, value)
+        elif size == 4:
+            mem.store_u32(addr, value)
+        else:
+            mem.store_u64(addr, value)
+        return None
+
+    def _scalar_store_fp(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1] + instr.imm
+        self.mem.store_f32(addr, self.frf.values[instr.rs2])
+        return None
+
+    _BRANCH_FNS = {
+        Op.BEQ: lambda a, b: a == b,
+        Op.BNE: lambda a, b: a != b,
+        Op.BLT: lambda a, b: a < b,
+        Op.BGE: lambda a, b: a >= b,
+        Op.BLTU: lambda a, b: to_unsigned64(a) < to_unsigned64(b),
+        Op.BGEU: lambda a, b: to_unsigned64(a) >= to_unsigned64(b),
+    }
+
+    def _branch(self, instr: Instr):
+        xv = self.xrf.values
+        taken = self._BRANCH_FNS[instr.op](xv[instr.rs1], xv[instr.rs2])
+        return instr.imm if taken else None
+
+    def _jal(self, instr: Instr):
+        # rd receives pc+4; the ISS patches the true value afterwards.
+        return ("jump", instr.imm)
+
+    def _jalr(self, instr: Instr):
+        target = (self.xrf.values[instr.rs1] + instr.imm) & ~1
+        return ("jump_abs", target)
+
+    # ==================================================================
+    # vector handlers
+    # ==================================================================
+    def _vsetvli(self, instr: Instr):
+        avl = self.xrf.values[instr.rs1]
+        vlmax = self.config.vector.vlmax
+        new_vl = vlmax if avl >= vlmax or avl < 0 else avl
+        if new_vl <= 0:
+            raise SimulationError("vsetvli selected a zero vector length")
+        self.vl = new_vl
+        self.xrf.write(instr.rd, new_vl)
+        return None
+
+    def _vle32(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1]
+        self.vrf.raw[instr.vd, :self.vl] = self.mem.load_vec_u32(addr,
+                                                                 self.vl)
+        return None
+
+    def _vse32(self, instr: Instr):
+        addr = self.xrf.values[instr.rs1]
+        self.mem.store_vec_u32(addr, self.vrf.raw[instr.vd, :self.vl])
+        return None
+
+    def _make_vv_i32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            i32 = self.vrf.i32
+            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], i32[instr.vs1, :vl])
+            return None
+        return handler
+
+    def _make_vv_u32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            raw = self.vrf.raw
+            raw[instr.vd, :vl] = fn(raw[instr.vs2, :vl], raw[instr.vs1, :vl])
+            return None
+        return handler
+
+    def _make_vx_i32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            value = _i32(self.xrf.values[instr.rs1])
+            i32 = self.vrf.i32
+            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], value)
+            return None
+        return handler
+
+    def _make_vx_u32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            value = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
+            raw = self.vrf.raw
+            raw[instr.vd, :vl] = fn(raw[instr.vs2, :vl], value)
+            return None
+        return handler
+
+    def _make_vi_i32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            i32 = self.vrf.i32
+            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], np.int32(instr.imm))
+            return None
+        return handler
+
+    def _make_vv_f32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            f32 = self.vrf.f32
+            f32[instr.vd, :vl] = fn(f32[instr.vs2, :vl], f32[instr.vs1, :vl])
+            return None
+        return handler
+
+    def _make_vf_f32(self, fn):
+        def handler(instr: Instr):
+            vl = self.vl
+            scalar = np.float32(self.frf.values[instr.rs1])
+            f32 = self.vrf.f32
+            f32[instr.vd, :vl] = fn(f32[instr.vs2, :vl], scalar)
+            return None
+        return handler
+
+    def _vfmacc_vf(self, instr: Instr):
+        vl = self.vl
+        scalar = np.float32(self.frf.values[instr.rs1])
+        self.vrf.f32[instr.vd, :vl] += scalar * self.vrf.f32[instr.vs2, :vl]
+        return None
+
+    def _vfmacc_vv(self, instr: Instr):
+        vl = self.vl
+        self.vrf.f32[instr.vd, :vl] += \
+            self.vrf.f32[instr.vs1, :vl] * self.vrf.f32[instr.vs2, :vl]
+        return None
+
+    def _vmacc_vv(self, instr: Instr):
+        vl = self.vl
+        i32 = self.vrf.i32
+        i32[instr.vd, :vl] += i32[instr.vs1, :vl] * i32[instr.vs2, :vl]
+        return None
+
+    def _vmacc_vx(self, instr: Instr):
+        vl = self.vl
+        value = _i32(self.xrf.values[instr.rs1])
+        i32 = self.vrf.i32
+        i32[instr.vd, :vl] += value * i32[instr.vs2, :vl]
+        return None
+
+    def _vredsum_vs(self, instr: Instr):
+        vl = self.vl
+        i32 = self.vrf.i32
+        total = int(i32[instr.vs1, 0]) + int(i32[instr.vs2, :vl].sum(
+            dtype=np.int64))
+        i32[instr.vd, 0] = _i32(total)
+        return None
+
+    def _vfredusum_vs(self, instr: Instr):
+        vl = self.vl
+        f32 = self.vrf.f32
+        f32[instr.vd, 0] = np.float32(
+            f32[instr.vs1, 0] + f32[instr.vs2, :vl].sum(dtype=np.float32))
+        return None
+
+    def _vslide1down_vx(self, instr: Instr):
+        vl = self.vl
+        raw = self.vrf.raw
+        fill = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
+        src = raw[instr.vs2, :vl]
+        raw[instr.vd, :vl - 1] = src[1:vl]
+        raw[instr.vd, vl - 1] = fill
+        return None
+
+    def _vslidedown_common(self, instr: Instr, amount: int):
+        vl = self.vl
+        raw = self.vrf.raw
+        if amount >= vl:
+            raw[instr.vd, :vl] = 0
+        else:
+            src = raw[instr.vs2, :vl].copy()
+            raw[instr.vd, :vl - amount] = src[amount:]
+            raw[instr.vd, vl - amount:vl] = 0
+
+    def _vslidedown_vx(self, instr: Instr):
+        self._vslidedown_common(instr, self.xrf.values[instr.rs1])
+        return None
+
+    def _vslidedown_vi(self, instr: Instr):
+        self._vslidedown_common(instr, instr.imm)
+        return None
+
+    def _vslideup_common(self, instr: Instr, amount: int):
+        """vd[i + amount] = vs2[i]; elements below `amount` keep vd."""
+        vl = self.vl
+        raw = self.vrf.raw
+        if amount < vl:
+            src = raw[instr.vs2, :vl - amount].copy()
+            raw[instr.vd, amount:vl] = src
+
+    def _vslideup_vx(self, instr: Instr):
+        self._vslideup_common(instr, self.xrf.values[instr.rs1])
+        return None
+
+    def _vslideup_vi(self, instr: Instr):
+        self._vslideup_common(instr, instr.imm)
+        return None
+
+    def _vslide1up_vx(self, instr: Instr):
+        vl = self.vl
+        raw = self.vrf.raw
+        src = raw[instr.vs2, :vl - 1].copy()
+        raw[instr.vd, 1:vl] = src
+        raw[instr.vd, 0] = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
+        return None
+
+    def _vmv_v_i(self, instr: Instr):
+        self.vrf.i32[instr.vd, :self.vl] = np.int32(instr.imm)
+        return None
+
+    def _vmv_v_x(self, instr: Instr):
+        self.vrf.i32[instr.vd, :self.vl] = _i32(self.xrf.values[instr.rs1])
+        return None
+
+    def _vmv_v_v(self, instr: Instr):
+        self.vrf.raw[instr.vd, :self.vl] = self.vrf.raw[instr.vs1, :self.vl]
+        return None
+
+    def _vmv_s_x(self, instr: Instr):
+        self.vrf.raw[instr.vd, 0] = \
+            np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
+        return None
+
+    def _vmv_x_s(self, instr: Instr):
+        self.xrf.write(instr.rd, int(self.vrf.i32[instr.vs2, 0]))
+        return None
+
+    def _vfmv_f_s(self, instr: Instr):
+        self.frf.write(instr.rd, float(self.vrf.f32[instr.vs2, 0]))
+        return None
+
+    def _vfmv_s_f(self, instr: Instr):
+        self.vrf.f32[instr.vd, 0] = np.float32(self.frf.values[instr.rs1])
+        return None
+
+    def _vid_v(self, instr: Instr):
+        vl = self.vl
+        self.vrf.i32[instr.vd, :vl] = np.arange(vl, dtype=np.int32)
+        return None
+
+    def _vindexmac_vx(self, instr: Instr):
+        """``vd[i] += vs2[0] * vrf[rs1[4:0]][i]`` (paper Section III-A)."""
+        index = self.xrf.values[instr.rs1] & 0x1F
+        vl = self.vl
+        f32 = self.vrf.f32
+        f32[instr.vd, :vl] += f32[instr.vs2, 0] * f32[index, :vl]
+        return None

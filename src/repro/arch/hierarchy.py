@@ -62,3 +62,26 @@ class MemoryHierarchy:
         """Empty all cache levels (used between benchmark repetitions)."""
         self.l1d.flush()
         self.l2.flush()
+
+    def shift(self, dt: float) -> None:
+        """Advance every level's clocks by ``dt`` cycles."""
+        self.l1d.shift(dt)
+        self.l2.shift(dt)
+        self.dram.shift(dt)
+
+    def clock_state(self):
+        """Snapshot of all bank/channel clocks (contents excluded).
+
+        The compressed-replay backend walks skipped loop iterations
+        through the caches at a frozen timestamp so tags and hit/miss
+        statistics stay exact; saving and restoring the clocks around
+        that walk keeps the bandwidth model unpolluted.
+        """
+        return (self.l1d.clock_state(), self.l2.clock_state(),
+                self.dram.clock_state())
+
+    def restore_clock_state(self, state) -> None:
+        l1d, l2, dram = state
+        self.l1d.restore_clock_state(l1d)
+        self.l2.restore_clock_state(l2)
+        self.dram.restore_clock_state(dram)

@@ -1,4 +1,4 @@
-"""The decoupled vector processor model (functional + timing).
+"""The decoupled vector processor model (timing over a functional core).
 
 This is the library's substitute for the paper's Gem5 setup (model
 ``1bDV`` of big.VLITTLE [24]): an out-of-order superscalar scalar core
@@ -9,15 +9,20 @@ The simulator is **trace-driven**: it consumes the dynamic instruction
 stream (either emitted by a kernel builder or fetched by the ISS in
 :mod:`repro.arch.interpreter`) and, for each instruction, both
 
-* executes it functionally — registers and memory always hold the real
-  bit-exact values, so every kernel result can be checked against
-  numpy; and
+* executes it functionally — the :class:`~repro.arch.functional.
+  FunctionalCore` keeps registers and memory bit-exact, so every kernel
+  result can be checked against numpy; and
 * assigns it timing — dispatch bandwidth and ROB occupancy in the
   scalar core, in-order posting through the vector instruction queue,
   in-order single-issue with whole-register dependency tracking in the
   vector engine, load/store queue occupancy, banked L2 and DRAM
   latency/bandwidth, and the vector-to-scalar round-trip that the
   ``vindexmac`` instruction exists to avoid.
+
+The two concerns are split across modules: every handler here computes
+*when* an instruction happens and then delegates *what* it does to the
+functional core, so timing backends (:mod:`repro.arch.timing`) can run
+the same instructions with or without the cycle model.
 
 The model is cycle-approximate, not cycle-accurate: it reproduces the
 relative behaviour of instruction streams on a fixed microarchitecture,
@@ -26,43 +31,51 @@ which is what the paper's speedup and memory-traffic results measure.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.arch.config import ProcessorConfig
+from repro.arch.functional import FunctionalCore
 from repro.arch.hierarchy import MemoryHierarchy
 from repro.arch.memory import FlatMemory
-from repro.arch.regfile import FpRegisterFile, IntRegisterFile, to_unsigned64
 from repro.arch.scalar_core import DispatchUnit
 from repro.arch.stats import ExecutionStats
 from repro.arch.vector_engine import VectorEngine
-from repro.arch.vrf import VectorRegisterFile
-from repro.errors import SimulationError
 from repro.isa.instructions import Instr, Op
 
-_MASK64 = (1 << 64) - 1
-
-
-def _i32(value: int) -> np.int32:
-    """Truncate a Python int to a signed 32-bit numpy scalar."""
-    value &= 0xFFFFFFFF
-    if value >= 0x80000000:
-        value -= 1 << 32
-    return np.int32(value)
+#: Hierarchy counters mirrored into :meth:`DecoupledProcessor.
+#: counter_snapshot` — (snapshot key, component attr, counter attr).
+_HIERARCHY_COUNTERS = (
+    ("l1d_hits", "l1d", "hits"),
+    ("l1d_misses", "l1d", "misses"),
+    ("l2_hits", "l2", "hits"),
+    ("l2_misses", "l2", "misses"),
+    ("l2_writebacks", "l2", "writebacks"),
+    ("dram_reads", "dram", "reads"),
+    ("dram_writes", "dram", "writes"),
+    ("dram_row_hits", "dram", "row_hits"),
+    ("dram_row_misses", "dram", "row_misses"),
+)
 
 
 class DecoupledProcessor:
-    """Scalar core + decoupled vector engine + memory hierarchy."""
+    """Scalar core + decoupled vector engine + memory hierarchy.
+
+    Architectural state (registers, memory, ``vl``) lives in the
+    :class:`FunctionalCore` exposed as :attr:`core`; this class owns
+    only timing state and statistics.
+    """
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 memory: FlatMemory | None = None):
-        self.config = config or ProcessorConfig.paper_default()
-        self.mem = memory or FlatMemory(self.config.memory_bytes)
+                 memory: FlatMemory | None = None,
+                 core: FunctionalCore | None = None):
+        if core is None:
+            core = FunctionalCore(config, memory)
+        self.core = core
+        self.config = core.config
+        self.mem = core.mem
+        self.xrf = core.xrf
+        self.frf = core.frf
+        self.vrf = core.vrf
         self.hierarchy = MemoryHierarchy(self.config)
-        self.xrf = IntRegisterFile()
-        self.frf = FpRegisterFile()
         vcfg = self.config.vector
-        self.vrf = VectorRegisterFile(vcfg.num_vregs, vcfg.vlmax)
-        self.vl = vcfg.vlmax
         self.dispatch = DispatchUnit(self.config.scalar)
         self.vengine = VectorEngine(vcfg)
         # per-register readiness (cycle when the value is available)
@@ -82,6 +95,15 @@ class DecoupledProcessor:
     # ==================================================================
     # public API
     # ==================================================================
+    @property
+    def vl(self) -> int:
+        """Current vector length (architectural state, lives in the core)."""
+        return self.core.vl
+
+    @vl.setter
+    def vl(self, value: int) -> None:
+        self.core.vl = value
+
     def run(self, stream) -> None:
         """Execute a dynamic instruction stream (trace mode)."""
         handlers = self._handlers
@@ -122,6 +144,47 @@ class DecoupledProcessor:
         return self._end
 
     # ==================================================================
+    # extrapolation hooks (used by the compressed-replay backend)
+    # ==================================================================
+    def counter_snapshot(self) -> dict[str, float]:
+        """All cumulative counters plus the current cycle, as one dict."""
+        snap = dict(self._counts)
+        snap["cycles"] = self._end
+        h = self.hierarchy
+        for key, part, attr in _HIERARCHY_COUNTERS:
+            snap[key] = getattr(getattr(h, part), attr)
+        return snap
+
+    def counter_keys(self):
+        """Keys of the instruction-class counters (no memory system)."""
+        return tuple(self._counts)
+
+    def charge(self, counts_delta: dict, repeats: int,
+               cycle_shift: float) -> None:
+        """Add ``repeats`` copies of a known per-iteration instruction
+        mix and advance all clocks by ``cycle_shift`` cycles (the
+        compressed backend's accounting for replayed loop iterations
+        whose memory statistics were already simulated exactly)."""
+        for key, delta in counts_delta.items():
+            self._counts[key] += delta * repeats
+        self.shift_time(cycle_shift)
+
+    def shift_time(self, dt: float) -> None:
+        """Advance every timing clock by ``dt`` cycles."""
+        if dt <= 0:
+            return
+        self._end += dt
+        for ready in (self.x_ready, self.f_ready, self.v_ready):
+            for i, t in enumerate(ready):
+                ready[i] = t + dt
+        if self._line_store_done:
+            self._line_store_done = {
+                line: t + dt for line, t in self._line_store_done.items()}
+        self.dispatch.shift(dt)
+        self.vengine.shift(dt)
+        self.hierarchy.shift(dt)
+
+    # ==================================================================
     # shared helpers
     # ==================================================================
     def _bump_end(self, t: float) -> None:
@@ -141,344 +204,87 @@ class DecoupledProcessor:
     # handler construction
     # ==================================================================
     def _build_handlers(self):
+        scfg = self.config.scalar
+        vcfg = self.config.vector
+        fexec = self.core.handlers
+        alu = vcfg.alu_latency
+        mac = vcfg.mac_latency
+        move = vcfg.move_latency
+        slide = vcfg.slide_latency
+        # log2(lanes) combining levels behind the MAC pipeline
+        reduction = mac + max(1, vcfg.lanes.bit_length() - 1)
+        indexmac = mac + vcfg.indexmac_extra_latency
+
         h = {}
-        # scalar ALU register-register
-        h[Op.ADD] = self._make_alu_rr(lambda a, b: a + b)
-        h[Op.SUB] = self._make_alu_rr(lambda a, b: a - b)
-        h[Op.AND] = self._make_alu_rr(lambda a, b: a & b)
-        h[Op.OR] = self._make_alu_rr(lambda a, b: a | b)
-        h[Op.XOR] = self._make_alu_rr(lambda a, b: a ^ b)
-        h[Op.SLL] = self._make_alu_rr(lambda a, b: a << (b & 63))
-        h[Op.SRL] = self._make_alu_rr(
-            lambda a, b: to_unsigned64(a) >> (b & 63))
-        h[Op.SRA] = self._make_alu_rr(lambda a, b: a >> (b & 63))
-        h[Op.SLT] = self._make_alu_rr(lambda a, b: int(a < b))
-        h[Op.SLTU] = self._make_alu_rr(
-            lambda a, b: int(to_unsigned64(a) < to_unsigned64(b)))
-        h[Op.MUL] = self._make_alu_rr(lambda a, b: a * b, is_mul=True)
-        # scalar ALU immediate
-        h[Op.ADDI] = self._make_alu_ri(lambda a, i: a + i)
-        h[Op.ANDI] = self._make_alu_ri(lambda a, i: a & i)
-        h[Op.ORI] = self._make_alu_ri(lambda a, i: a | i)
-        h[Op.XORI] = self._make_alu_ri(lambda a, i: a ^ i)
-        h[Op.SLLI] = self._make_alu_ri(lambda a, i: a << i)
-        h[Op.SRLI] = self._make_alu_ri(lambda a, i: to_unsigned64(a) >> i)
-        h[Op.SRAI] = self._make_alu_ri(lambda a, i: a >> i)
-        h[Op.SLTI] = self._make_alu_ri(lambda a, i: int(a < i))
-        h[Op.SLTIU] = self._make_alu_ri(
-            lambda a, i: int(to_unsigned64(a) < to_unsigned64(i)))
-        h[Op.LUI] = self._lui
-        h[Op.AUIPC] = self._lui  # pc-relative not used in trace mode
+        # scalar ALU
+        for op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL,
+                   Op.SRA, Op.SLT, Op.SLTU):
+            h[op] = self._t_alu_rr(fexec[op], scfg.int_alu_latency)
+        h[Op.MUL] = self._t_alu_rr(fexec[Op.MUL], scfg.mul_latency)
+        for op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI,
+                   Op.SRAI, Op.SLTI, Op.SLTIU):
+            h[op] = self._t_alu_ri(fexec[op], scfg.int_alu_latency)
+        for op in (Op.LUI, Op.AUIPC):
+            h[op] = self._t_lui(fexec[op], scfg.int_alu_latency)
         # scalar memory
-        for op in (Op.LB, Op.LBU, Op.LH, Op.LHU, Op.LW, Op.LWU, Op.LD):
-            h[op] = self._scalar_load
-        h[Op.FLW] = self._scalar_load_fp
-        for op in (Op.SB, Op.SH, Op.SW, Op.SD):
-            h[op] = self._scalar_store
-        h[Op.FSW] = self._scalar_store_fp
+        for op, (size, _) in FunctionalCore._LOAD_SIZES.items():
+            h[op] = self._t_scalar_load(fexec[op], size, fp=False)
+        h[Op.FLW] = self._t_scalar_load(fexec[Op.FLW], 4, fp=True)
+        for op, size in FunctionalCore._STORE_SIZES.items():
+            h[op] = self._t_scalar_store(fexec[op], size)
+        h[Op.FSW] = self._t_scalar_store_fp(fexec[Op.FSW])
         # control flow
         for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
-            h[op] = self._branch
-        h[Op.JAL] = self._jal
-        h[Op.JALR] = self._jalr
-        # vector
-        h[Op.VSETVLI] = self._vsetvli
-        h[Op.VLE32] = self._vle32
-        h[Op.VSE32] = self._vse32
-        h[Op.VADD_VX] = self._vadd_vx
-        h[Op.VADD_VI] = self._vadd_vi
-        h[Op.VADD_VV] = self._vadd_vv
-        h[Op.VMUL_VX] = self._vmul_vx
-        h[Op.VFMACC_VF] = self._vfmacc_vf
-        h[Op.VFMACC_VV] = self._vfmacc_vv
-        h[Op.VFMUL_VF] = self._vfmul_vf
-        h[Op.VSLIDE1DOWN_VX] = self._vslide1down_vx
-        h[Op.VSLIDEDOWN_VX] = self._vslidedown_vx
-        h[Op.VSLIDEDOWN_VI] = self._vslidedown_vi
-        h[Op.VMV_V_I] = self._vmv_v_i
-        h[Op.VMV_V_X] = self._vmv_v_x
-        h[Op.VMV_V_V] = self._vmv_v_v
-        h[Op.VMV_X_S] = self._vmv_x_s
-        h[Op.VFMV_F_S] = self._vfmv_f_s
-        h[Op.VFMV_S_F] = self._vfmv_s_f
-        h[Op.VINDEXMAC_VX] = self._vindexmac_vx
-        # wider RVV subset (elementwise, generated handlers)
-        h[Op.VSUB_VV] = self._make_vv_i32(lambda a, b: a - b)
-        h[Op.VSUB_VX] = self._make_vx_i32(lambda a, s: a - s)
-        h[Op.VRSUB_VX] = self._make_vx_i32(lambda a, s: s - a)
-        h[Op.VRSUB_VI] = self._make_vi_i32(lambda a, s: s - a)
-        h[Op.VAND_VV] = self._make_vv_i32(lambda a, b: a & b)
-        h[Op.VAND_VX] = self._make_vx_i32(lambda a, s: a & s)
-        h[Op.VOR_VV] = self._make_vv_i32(lambda a, b: a | b)
-        h[Op.VOR_VX] = self._make_vx_i32(lambda a, s: a | s)
-        h[Op.VXOR_VV] = self._make_vv_i32(lambda a, b: a ^ b)
-        h[Op.VXOR_VX] = self._make_vx_i32(lambda a, s: a ^ s)
-        h[Op.VMIN_VV] = self._make_vv_i32(np.minimum)
-        h[Op.VMIN_VX] = self._make_vx_i32(np.minimum)
-        h[Op.VMAX_VV] = self._make_vv_i32(np.maximum)
-        h[Op.VMAX_VX] = self._make_vx_i32(np.maximum)
-        h[Op.VMINU_VV] = self._make_vv_u32(np.minimum)
-        h[Op.VMINU_VX] = self._make_vx_u32(np.minimum)
-        h[Op.VMAXU_VV] = self._make_vv_u32(np.maximum)
-        h[Op.VMAXU_VX] = self._make_vx_u32(np.maximum)
-        h[Op.VMUL_VV] = self._make_vv_i32(lambda a, b: a * b)
-        h[Op.VMACC_VV] = self._vmacc_vv
-        h[Op.VMACC_VX] = self._vmacc_vx
-        h[Op.VREDSUM_VS] = self._vredsum_vs
-        h[Op.VFADD_VV] = self._make_vv_f32(lambda a, b: a + b)
-        h[Op.VFADD_VF] = self._make_vf_f32(lambda a, s: a + s)
-        h[Op.VFSUB_VV] = self._make_vv_f32(lambda a, b: a - b)
-        h[Op.VFSUB_VF] = self._make_vf_f32(lambda a, s: a - s)
-        h[Op.VFMUL_VV] = self._make_vv_f32(lambda a, b: a * b)
-        h[Op.VFREDUSUM_VS] = self._vfredusum_vs
-        h[Op.VSLIDEUP_VX] = self._vslideup_vx
-        h[Op.VSLIDEUP_VI] = self._vslideup_vi
-        h[Op.VSLIDE1UP_VX] = self._vslide1up_vx
-        h[Op.VMV_S_X] = self._vmv_s_x
-        h[Op.VID_V] = self._vid_v
+            h[op] = self._t_branch(fexec[op], scfg.branch_latency)
+        h[Op.JAL] = self._t_jal(fexec[Op.JAL])
+        h[Op.JALR] = self._t_jalr(fexec[Op.JALR])
+        # vector configuration and memory
+        h[Op.VSETVLI] = self._t_vsetvli(fexec[Op.VSETVLI])
+        h[Op.VLE32] = self._t_vle32(fexec[Op.VLE32])
+        h[Op.VSE32] = self._t_vse32(fexec[Op.VSE32])
+        # vector arithmetic: (ops, scalar operand file, vector operand
+        # readiness set, completion latency, extra stat counters)
+        spec = [
+            ((Op.VADD_VX, Op.VMUL_VX, Op.VSUB_VX, Op.VRSUB_VX, Op.VAND_VX,
+              Op.VOR_VX, Op.VXOR_VX, Op.VMIN_VX, Op.VMAX_VX, Op.VMINU_VX,
+              Op.VMAXU_VX), "x", "vs2_vd", alu, ()),
+            ((Op.VADD_VI, Op.VRSUB_VI), None, "vs2_vd", alu, ()),
+            ((Op.VADD_VV, Op.VSUB_VV, Op.VAND_VV, Op.VOR_VV, Op.VXOR_VV,
+              Op.VMIN_VV, Op.VMAX_VV, Op.VMINU_VV, Op.VMAXU_VV, Op.VMUL_VV),
+             None, "vs1_vs2_vd", alu, ()),
+            ((Op.VFMACC_VF,), "f", "vs2_vd", mac, ("vfmacc",)),
+            ((Op.VFMACC_VV,), None, "vs1_vs2_vd", mac, ("vfmacc",)),
+            ((Op.VFMUL_VF, Op.VFADD_VF, Op.VFSUB_VF), "f", "vs2_vd", mac,
+             ()),
+            ((Op.VFADD_VV, Op.VFSUB_VV, Op.VFMUL_VV, Op.VMACC_VV), None,
+             "vs1_vs2_vd", mac, ()),
+            ((Op.VMACC_VX,), "x", "vs2_vd", mac, ()),
+            ((Op.VREDSUM_VS, Op.VFREDUSUM_VS), None, "vs1_vs2_vd",
+             reduction, ()),
+            ((Op.VSLIDE1DOWN_VX, Op.VSLIDEDOWN_VX, Op.VSLIDEUP_VX,
+              Op.VSLIDE1UP_VX), "x", "vs2_vd", slide, ("slides",)),
+            ((Op.VSLIDEDOWN_VI, Op.VSLIDEUP_VI), None, "vs2_vd", slide,
+             ("slides",)),
+            ((Op.VMV_V_I,), None, "vd", move, ()),
+            ((Op.VMV_V_X, Op.VMV_S_X), "x", "vd", move, ()),
+            ((Op.VMV_V_V,), None, "vs1_vd", move, ()),
+            ((Op.VFMV_S_F,), "f", "vd", move, ()),
+            ((Op.VID_V,), None, "vd", alu, ()),
+        ]
+        for ops, scalar, vregs, latency, extra in spec:
+            for op in ops:
+                h[op] = self._t_varith(fexec[op], scalar, vregs, latency,
+                                       extra)
+        h[Op.VMV_X_S] = self._t_v2s(fexec[Op.VMV_X_S], self.x_ready)
+        h[Op.VFMV_F_S] = self._t_v2s(fexec[Op.VFMV_F_S], self.f_ready)
+        h[Op.VINDEXMAC_VX] = self._t_vindexmac(fexec[Op.VINDEXMAC_VX],
+                                               indexmac)
         return h
 
     # ==================================================================
-    # generated elementwise handlers (wider RVV subset)
+    # scalar timing handlers
     # ==================================================================
-    def _count_varith(self) -> None:
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-
-    def _make_vv_i32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                       instr.vd)
-            complete = issue + self.config.vector.alu_latency
-            vl = self.vl
-            i32 = self.vrf.i32
-            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], i32[instr.vs1, :vl])
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vv_u32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                       instr.vd)
-            complete = issue + self.config.vector.alu_latency
-            vl = self.vl
-            raw = self.vrf.raw
-            raw[instr.vd, :vl] = fn(raw[instr.vs2, :vl], raw[instr.vs1, :vl])
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vx_i32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-            complete = issue + self.config.vector.alu_latency
-            vl = self.vl
-            value = _i32(self.xrf.values[instr.rs1])
-            i32 = self.vrf.i32
-            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], value)
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vx_u32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-            complete = issue + self.config.vector.alu_latency
-            vl = self.vl
-            value = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
-            raw = self.vrf.raw
-            raw[instr.vd, :vl] = fn(raw[instr.vs2, :vl], value)
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vi_i32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, None, instr.vs2, instr.vd)
-            complete = issue + self.config.vector.alu_latency
-            vl = self.vl
-            i32 = self.vrf.i32
-            i32[instr.vd, :vl] = fn(i32[instr.vs2, :vl], np.int32(instr.imm))
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vv_f32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                       instr.vd)
-            complete = issue + self.config.vector.mac_latency
-            vl = self.vl
-            f32 = self.vrf.f32
-            f32[instr.vd, :vl] = fn(f32[instr.vs2, :vl], f32[instr.vs1, :vl])
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _make_vf_f32(self, fn):
-        def handler(instr: Instr):
-            self._count_varith()
-            d = self.dispatch.next_dispatch()
-            t = self.f_ready[instr.rs1]
-            if t > d:
-                d = t
-            post = self.vengine.post(d)
-            self.dispatch.retire(post)
-            vr = self.v_ready
-            operands = vr[instr.vs2]
-            if vr[instr.vd] > operands:
-                operands = vr[instr.vd]
-            issue = self.vengine.issue(post, operands)
-            complete = issue + self.config.vector.mac_latency
-            vl = self.vl
-            scalar = np.float32(self.frf.values[instr.rs1])
-            f32 = self.vrf.f32
-            f32[instr.vd, :vl] = fn(f32[instr.vs2, :vl], scalar)
-            self.v_ready[instr.vd] = complete
-            self._bump_end(complete)
-            return None
-        return handler
-
-    def _vmacc_vv(self, instr: Instr):
-        self._count_varith()
-        self._counts["vfmacc"] += 0  # integer MAC tracked separately
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                   instr.vd)
-        complete = issue + self.config.vector.mac_latency
-        vl = self.vl
-        i32 = self.vrf.i32
-        i32[instr.vd, :vl] += i32[instr.vs1, :vl] * i32[instr.vs2, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmacc_vx(self, instr: Instr):
-        self._count_varith()
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.mac_latency
-        vl = self.vl
-        value = _i32(self.xrf.values[instr.rs1])
-        i32 = self.vrf.i32
-        i32[instr.vd, :vl] += value * i32[instr.vs2, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _reduction_latency(self) -> int:
-        # log2(lanes) combining levels behind the MAC pipeline
-        lanes = self.config.vector.lanes
-        return self.config.vector.mac_latency + max(1, lanes.bit_length() - 1)
-
-    def _vredsum_vs(self, instr: Instr):
-        self._count_varith()
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                   instr.vd)
-        complete = issue + self._reduction_latency()
-        vl = self.vl
-        i32 = self.vrf.i32
-        total = int(i32[instr.vs1, 0]) + int(i32[instr.vs2, :vl].sum(
-            dtype=np.int64))
-        i32[instr.vd, 0] = _i32(total)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vfredusum_vs(self, instr: Instr):
-        self._count_varith()
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vs2,
-                                   instr.vd)
-        complete = issue + self._reduction_latency()
-        vl = self.vl
-        f32 = self.vrf.f32
-        f32[instr.vd, 0] = np.float32(
-            f32[instr.vs1, 0] + f32[instr.vs2, :vl].sum(dtype=np.float32))
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslideup_common(self, instr: Instr, amount: int):
-        """vd[i + amount] = vs2[i]; elements below `amount` keep vd."""
-        vl = self.vl
-        raw = self.vrf.raw
-        if amount < vl:
-            src = raw[instr.vs2, :vl - amount].copy()
-            raw[instr.vd, amount:vl] = src
-
-    def _vslideup_vx(self, instr: Instr):
-        self._count_varith()
-        self._counts["slides"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        self._vslideup_common(instr, self.xrf.values[instr.rs1])
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslideup_vi(self, instr: Instr):
-        self._count_varith()
-        self._counts["slides"] += 1
-        issue = self._varith_issue(instr, None, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        self._vslideup_common(instr, instr.imm)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslide1up_vx(self, instr: Instr):
-        self._count_varith()
-        self._counts["slides"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        vl = self.vl
-        raw = self.vrf.raw
-        src = raw[instr.vs2, :vl - 1].copy()
-        raw[instr.vd, 1:vl] = src
-        raw[instr.vd, 0] = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmv_s_x(self, instr: Instr):
-        self._count_varith()
-        issue = self._varith_issue(instr, instr.rs1, instr.vd)
-        complete = issue + self.config.vector.move_latency
-        self.vrf.raw[instr.vd, 0] = \
-            np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vid_v(self, instr: Instr):
-        self._count_varith()
-        issue = self._varith_issue(instr, None, instr.vd)
-        complete = issue + self.config.vector.alu_latency
-        vl = self.vl
-        self.vrf.i32[instr.vd, :vl] = np.arange(vl, dtype=np.int32)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    # ==================================================================
-    # scalar handlers
-    # ==================================================================
-    def _make_alu_rr(self, fn, is_mul: bool = False):
-        lat = (self.config.scalar.mul_latency if is_mul
-               else self.config.scalar.int_alu_latency)
-
+    def _t_alu_rr(self, fexec, lat):
         def handler(instr: Instr):
             c = self._counts
             c["instructions"] += 1
@@ -486,19 +292,15 @@ class DecoupledProcessor:
             d = self.dispatch.next_dispatch()
             ready = self._scalar_ready(d, instr.rs1, instr.rs2)
             complete = ready + lat
-            xv = self.xrf.values
-            self.xrf.write(instr.rd, fn(xv[instr.rs1], xv[instr.rs2]))
+            fexec(instr)
             if instr.rd:
                 self.x_ready[instr.rd] = complete
             self.dispatch.retire(complete)
             self._bump_end(complete)
             return None
-
         return handler
 
-    def _make_alu_ri(self, fn):
-        lat = self.config.scalar.int_alu_latency
-
+    def _t_alu_ri(self, fexec, lat):
         def handler(instr: Instr):
             c = self._counts
             c["instructions"] += 1
@@ -506,202 +308,155 @@ class DecoupledProcessor:
             d = self.dispatch.next_dispatch()
             ready = self._scalar_ready(d, instr.rs1)
             complete = ready + lat
-            self.xrf.write(instr.rd, fn(self.xrf.values[instr.rs1], instr.imm))
+            fexec(instr)
             if instr.rd:
                 self.x_ready[instr.rd] = complete
             self.dispatch.retire(complete)
             self._bump_end(complete)
             return None
-
         return handler
 
-    def _lui(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        d = self.dispatch.next_dispatch()
-        complete = d + self.config.scalar.int_alu_latency
-        value = instr.imm << 12
-        if value & 0x80000000:  # RV64: LUI sign-extends bit 31
-            value -= 1 << 32
-        self.xrf.write(instr.rd, value)
-        if instr.rd:
-            self.x_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+    def _t_lui(self, fexec, lat):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            d = self.dispatch.next_dispatch()
+            complete = d + lat
+            fexec(instr)
+            if instr.rd:
+                self.x_ready[instr.rd] = complete
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return None
+        return handler
 
-    _LOAD_SIZES = {
-        Op.LB: (1, True), Op.LBU: (1, False), Op.LH: (2, True),
-        Op.LHU: (2, False), Op.LW: (4, True), Op.LWU: (4, False),
-        Op.LD: (8, True),
-    }
+    def _t_scalar_load(self, fexec, size, fp):
+        ready_file = self.f_ready if fp else self.x_ready
 
-    def _scalar_load(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["sloads"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1)
-        addr = self.xrf.values[instr.rs1] + instr.imm
-        size, signed = self._LOAD_SIZES[instr.op]
-        complete = self.hierarchy.scalar_access(addr, size, ready + 1, False)
-        mem = self.mem
-        if size == 1:
-            value = mem.load_u8(addr)
-        elif size == 2:
-            value = mem.load_u16(addr)
-        elif size == 4:
-            value = mem.load_u32(addr)
-        else:
-            value = mem.load_u64(addr)
-        if signed and size < 8 and value & (1 << (8 * size - 1)):
-            value -= 1 << (8 * size)
-        self.xrf.write(instr.rd, value)
-        if instr.rd:
-            self.x_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["sloads"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = self._scalar_ready(d, instr.rs1)
+            addr = self.xrf.values[instr.rs1] + instr.imm
+            complete = self.hierarchy.scalar_access(addr, size, ready + 1,
+                                                    False)
+            fexec(instr)
+            if fp or instr.rd:
+                ready_file[instr.rd] = complete
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return None
+        return handler
 
-    def _scalar_load_fp(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["sloads"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1)
-        addr = self.xrf.values[instr.rs1] + instr.imm
-        complete = self.hierarchy.scalar_access(addr, 4, ready + 1, False)
-        self.frf.write(instr.rd, self.mem.load_f32(addr))
-        self.f_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+    def _t_scalar_store(self, fexec, size):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["sstores"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = self._scalar_ready(d, instr.rs1, instr.rs2)
+            addr = self.xrf.values[instr.rs1] + instr.imm
+            self.hierarchy.scalar_access(addr, size, ready + 1, True)
+            fexec(instr)
+            complete = ready + 1  # posted through the store buffer
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return None
+        return handler
 
-    _STORE_SIZES = {Op.SB: 1, Op.SH: 2, Op.SW: 4, Op.SD: 8}
+    def _t_scalar_store_fp(self, fexec):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["sstores"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = d
+            t = self.x_ready[instr.rs1]
+            if t > ready:
+                ready = t
+            t = self.f_ready[instr.rs2]
+            if t > ready:
+                ready = t
+            addr = self.xrf.values[instr.rs1] + instr.imm
+            self.hierarchy.scalar_access(addr, 4, ready + 1, True)
+            fexec(instr)
+            complete = ready + 1
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return None
+        return handler
 
-    def _scalar_store(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["sstores"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1, instr.rs2)
-        addr = self.xrf.values[instr.rs1] + instr.imm
-        size = self._STORE_SIZES[instr.op]
-        self.hierarchy.scalar_access(addr, size, ready + 1, True)
-        value = self.xrf.values[instr.rs2]
-        mem = self.mem
-        if size == 1:
-            mem.store_u8(addr, value)
-        elif size == 2:
-            mem.store_u16(addr, value)
-        elif size == 4:
-            mem.store_u32(addr, value)
-        else:
-            mem.store_u64(addr, value)
-        complete = ready + 1  # posted through the store buffer
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+    def _t_branch(self, fexec, lat):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["branches"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = self._scalar_ready(d, instr.rs1, instr.rs2)
+            complete = ready + lat
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return fexec(instr)
+        return handler
 
-    def _scalar_store_fp(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["sstores"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = d
-        t = self.x_ready[instr.rs1]
-        if t > ready:
-            ready = t
-        t = self.f_ready[instr.rs2]
-        if t > ready:
-            ready = t
-        addr = self.xrf.values[instr.rs1] + instr.imm
-        self.hierarchy.scalar_access(addr, 4, ready + 1, True)
-        self.mem.store_f32(addr, self.frf.values[instr.rs2])
-        complete = ready + 1
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+    def _t_jal(self, fexec):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["branches"] += 1
+            d = self.dispatch.next_dispatch()
+            complete = d + 1
+            # rd receives pc+4; the ISS patches the true value afterwards.
+            if instr.rd:
+                self.x_ready[instr.rd] = complete
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return fexec(instr)
+        return handler
 
-    _BRANCH_FNS = {
-        Op.BEQ: lambda a, b: a == b,
-        Op.BNE: lambda a, b: a != b,
-        Op.BLT: lambda a, b: a < b,
-        Op.BGE: lambda a, b: a >= b,
-        Op.BLTU: lambda a, b: to_unsigned64(a) < to_unsigned64(b),
-        Op.BGEU: lambda a, b: to_unsigned64(a) >= to_unsigned64(b),
-    }
-
-    def _branch(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["branches"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1, instr.rs2)
-        complete = ready + self.config.scalar.branch_latency
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        xv = self.xrf.values
-        taken = self._BRANCH_FNS[instr.op](xv[instr.rs1], xv[instr.rs2])
-        return instr.imm if taken else None
-
-    def _jal(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["branches"] += 1
-        d = self.dispatch.next_dispatch()
-        complete = d + 1
-        # rd receives pc+4; the ISS patches the true value afterwards.
-        if instr.rd:
-            self.x_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return ("jump", instr.imm)
-
-    def _jalr(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["scalar"] += 1
-        c["branches"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1)
-        complete = ready + 1
-        target = (self.xrf.values[instr.rs1] + instr.imm) & ~1
-        if instr.rd:
-            self.x_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return ("jump_abs", target)
+    def _t_jalr(self, fexec):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["scalar"] += 1
+            c["branches"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = self._scalar_ready(d, instr.rs1)
+            complete = ready + 1
+            outcome = fexec(instr)
+            if instr.rd:
+                self.x_ready[instr.rd] = complete
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return outcome
+        return handler
 
     # ==================================================================
-    # vector handlers
+    # vector timing handlers
     # ==================================================================
-    def _vsetvli(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        d = self.dispatch.next_dispatch()
-        ready = self._scalar_ready(d, instr.rs1)
-        avl = self.xrf.values[instr.rs1]
-        vlmax = self.config.vector.vlmax
-        new_vl = vlmax if avl >= vlmax or avl < 0 else avl
-        if new_vl <= 0:
-            raise SimulationError("vsetvli selected a zero vector length")
-        self.vl = new_vl
-        complete = ready + 1
-        self.xrf.write(instr.rd, new_vl)
-        if instr.rd:
-            self.x_ready[instr.rd] = complete
-        self.dispatch.retire(complete)
-        self._bump_end(complete)
-        return None
+    def _t_vsetvli(self, fexec):
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["vector"] += 1
+            d = self.dispatch.next_dispatch()
+            ready = self._scalar_ready(d, instr.rs1)
+            fexec(instr)
+            complete = ready + 1
+            if instr.rd:
+                self.x_ready[instr.rd] = complete
+            self.dispatch.retire(complete)
+            self._bump_end(complete)
+            return None
+        return handler
 
     def _vpost(self, instr: Instr, scalar_reg: int | None) -> float:
         """Dispatch + in-order post of a vector instruction to the VIQ."""
@@ -714,329 +469,152 @@ class DecoupledProcessor:
         self.dispatch.retire(post)
         return post
 
-    def _vle32(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["vloads"] += 1
+    def _fpost(self, instr: Instr) -> float:
+        """Like :meth:`_vpost` but the scalar operand is an FP register."""
+        d = self.dispatch.next_dispatch()
+        t = self.f_ready[instr.rs1]
+        if t > d:
+            d = t
+        post = self.vengine.post(d)
+        self.dispatch.retire(post)
+        return post
+
+    def _t_vle32(self, fexec):
         vcfg = self.config.vector
-        post = self._vpost(instr, instr.rs1)
-        vd = instr.vd
-        operands = self.v_ready[vd]  # write-after-write ordering
-        lq_free = self.vengine.acquire_load_slot(0.0)
-        if lq_free > operands:
-            operands = lq_free
-        issue = self.vengine.issue(post, operands,
-                                   vcfg.vload_issue_occupancy)
-        addr = self.xrf.values[instr.rs1]
-        start = issue + vcfg.agen_latency
-        # order against older vector stores to the same lines
-        nbytes = 4 * self.vl
         line = self.config.l2.line_bytes
-        store_map = self._line_store_done
-        if store_map:
+
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["vector"] += 1
+            c["vloads"] += 1
+            post = self._vpost(instr, instr.rs1)
+            vd = instr.vd
+            operands = self.v_ready[vd]  # write-after-write ordering
+            lq_free = self.vengine.acquire_load_slot(0.0)
+            if lq_free > operands:
+                operands = lq_free
+            issue = self.vengine.issue(post, operands,
+                                       vcfg.vload_issue_occupancy)
+            addr = self.xrf.values[instr.rs1]
+            start = issue + vcfg.agen_latency
+            # order against older vector stores to the same lines
+            nbytes = 4 * self.core.vl
+            store_map = self._line_store_done
+            if store_map:
+                for ln in range(addr // line,
+                                (addr + nbytes - 1) // line + 1):
+                    t = store_map.get(ln)
+                    if t is not None and t > start:
+                        start = t
+            complete = self.hierarchy.vector_access(addr, nbytes, start,
+                                                    False) \
+                + vcfg.mem_overhead_latency
+            self.vengine.load_inflight(complete)
+            fexec(instr)
+            self.v_ready[vd] = complete
+            self._bump_end(complete)
+            return None
+        return handler
+
+    def _t_vse32(self, fexec):
+        vcfg = self.config.vector
+        line = self.config.l2.line_bytes
+
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["vector"] += 1
+            c["vstores"] += 1
+            post = self._vpost(instr, instr.rs1)
+            operands = self.v_ready[instr.vd]  # store data
+            sq_free = self.vengine.acquire_store_slot(0.0)
+            if sq_free > operands:
+                operands = sq_free
+            issue = self.vengine.issue(post, operands,
+                                       vcfg.vstore_issue_occupancy)
+            addr = self.xrf.values[instr.rs1]
+            nbytes = 4 * self.core.vl
+            done = self.hierarchy.vector_access(
+                addr, nbytes, issue + vcfg.agen_latency, True)
+            self.vengine.store_inflight(done)
             for ln in range(addr // line, (addr + nbytes - 1) // line + 1):
-                t = store_map.get(ln)
-                if t is not None and t > start:
-                    start = t
-        complete = self.hierarchy.vector_access(addr, nbytes, start, False) \
-            + vcfg.mem_overhead_latency
-        self.vengine.load_inflight(complete)
-        self.vrf.raw[vd, :self.vl] = self.mem.load_vec_u32(addr, self.vl)
-        self.v_ready[vd] = complete
-        self._bump_end(complete)
-        return None
+                prev = self._line_store_done.get(ln, 0.0)
+                if done > prev:
+                    self._line_store_done[ln] = done
+            fexec(instr)
+            complete = issue + 1  # posted
+            self._bump_end(done)
+            self._bump_end(complete)
+            return None
+        return handler
 
-    def _vse32(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["vstores"] += 1
+    def _t_varith(self, fexec, scalar, vregs, latency, extra_counts):
+        """Generic vector-arithmetic timing: post, in-order issue once the
+        named vector operands are ready, complete after ``latency``."""
+        counts = self._counts
+        v_ready = self.v_ready
+        vengine = self.vengine
+
+        if vregs == "vs2_vd":
+            def operand_regs(instr):
+                return (instr.vs2, instr.vd)
+        elif vregs == "vs1_vs2_vd":
+            def operand_regs(instr):
+                return (instr.vs1, instr.vs2, instr.vd)
+        elif vregs == "vs1_vd":
+            def operand_regs(instr):
+                return (instr.vs1, instr.vd)
+        else:  # "vd"
+            def operand_regs(instr):
+                return (instr.vd,)
+
+        def handler(instr: Instr):
+            counts["instructions"] += 1
+            counts["vector"] += 1
+            for key in extra_counts:
+                counts[key] += 1
+            if scalar == "f":
+                post = self._fpost(instr)
+            elif scalar == "x":
+                post = self._vpost(instr, instr.rs1)
+            else:
+                post = self._vpost(instr, None)
+            operands = 0.0
+            for v in operand_regs(instr):
+                t = v_ready[v]
+                if t > operands:
+                    operands = t
+            issue = vengine.issue(post, operands)
+            complete = issue + latency
+            fexec(instr)
+            v_ready[instr.vd] = complete
+            self._bump_end(complete)
+            return None
+        return handler
+
+    def _t_v2s(self, fexec, ready_file):
+        """Vector-to-scalar move: the result crosses back to the scalar
+        core and pays the round-trip ``v2s_latency``."""
         vcfg = self.config.vector
-        post = self._vpost(instr, instr.rs1)
-        operands = self.v_ready[instr.vd]  # store data
-        sq_free = self.vengine.acquire_store_slot(0.0)
-        if sq_free > operands:
-            operands = sq_free
-        issue = self.vengine.issue(post, operands,
-                                   vcfg.vstore_issue_occupancy)
-        addr = self.xrf.values[instr.rs1]
-        nbytes = 4 * self.vl
-        done = self.hierarchy.vector_access(
-            addr, nbytes, issue + vcfg.agen_latency, True)
-        self.vengine.store_inflight(done)
-        line = self.config.l2.line_bytes
-        for ln in range(addr // line, (addr + nbytes - 1) // line + 1):
-            prev = self._line_store_done.get(ln, 0.0)
-            if done > prev:
-                self._line_store_done[ln] = done
-        self.mem.store_vec_u32(addr, self.vrf.raw[instr.vd, :self.vl])
-        complete = issue + 1  # posted
-        self._bump_end(done)
-        self._bump_end(complete)
-        return None
 
-    def _varith_issue(self, instr: Instr, scalar_reg, *vregs: int) -> float:
-        """Common post+issue path for vector arithmetic; returns issue."""
-        post = self._vpost(instr, scalar_reg)
-        vr = self.v_ready
-        operands = 0.0
-        for v in vregs:
-            t = vr[v]
-            if t > operands:
-                operands = t
-        return self.vengine.issue(post, operands)
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["vector"] += 1
+            c["v2s"] += 1
+            post = self._vpost(instr, None)
+            issue = self.vengine.issue(post, self.v_ready[instr.vs2])
+            complete = issue + vcfg.move_latency
+            fexec(instr)
+            if ready_file is self.f_ready or instr.rd:
+                ready_file[instr.rd] = complete + vcfg.v2s_latency
+            self._bump_end(complete + vcfg.v2s_latency)
+            return None
+        return handler
 
-    def _vadd_vx(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.alu_latency
-        vl = self.vl
-        value = _i32(self.xrf.values[instr.rs1])
-        self.vrf.i32[instr.vd, :vl] = self.vrf.i32[instr.vs2, :vl] + value
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vadd_vi(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, None, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.alu_latency
-        vl = self.vl
-        self.vrf.i32[instr.vd, :vl] = \
-            self.vrf.i32[instr.vs2, :vl] + np.int32(instr.imm)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vadd_vv(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.alu_latency
-        vl = self.vl
-        self.vrf.i32[instr.vd, :vl] = \
-            self.vrf.i32[instr.vs2, :vl] + self.vrf.i32[instr.vs1, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmul_vx(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.alu_latency
-        vl = self.vl
-        value = _i32(self.xrf.values[instr.rs1])
-        self.vrf.i32[instr.vd, :vl] = self.vrf.i32[instr.vs2, :vl] * value
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vfmacc_vf(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["vfmacc"] += 1
-        # the scalar operand comes from the FP file
-        d = self.dispatch.next_dispatch()
-        t = self.f_ready[instr.rs1]
-        if t > d:
-            d = t
-        post = self.vengine.post(d)
-        self.dispatch.retire(post)
-        vr = self.v_ready
-        operands = vr[instr.vs2]
-        if vr[instr.vd] > operands:
-            operands = vr[instr.vd]
-        issue = self.vengine.issue(post, operands)
-        complete = issue + self.config.vector.mac_latency
-        vl = self.vl
-        scalar = np.float32(self.frf.values[instr.rs1])
-        self.vrf.f32[instr.vd, :vl] += scalar * self.vrf.f32[instr.vs2, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vfmacc_vv(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["vfmacc"] += 1
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.mac_latency
-        vl = self.vl
-        self.vrf.f32[instr.vd, :vl] += \
-            self.vrf.f32[instr.vs1, :vl] * self.vrf.f32[instr.vs2, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vfmul_vf(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        d = self.dispatch.next_dispatch()
-        t = self.f_ready[instr.rs1]
-        if t > d:
-            d = t
-        post = self.vengine.post(d)
-        self.dispatch.retire(post)
-        vr = self.v_ready
-        operands = vr[instr.vs2]
-        if vr[instr.vd] > operands:
-            operands = vr[instr.vd]
-        issue = self.vengine.issue(post, operands)
-        complete = issue + self.config.vector.mac_latency
-        vl = self.vl
-        scalar = np.float32(self.frf.values[instr.rs1])
-        self.vrf.f32[instr.vd, :vl] = scalar * self.vrf.f32[instr.vs2, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslide1down_vx(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["slides"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        vl = self.vl
-        raw = self.vrf.raw
-        fill = np.uint32(self.xrf.values[instr.rs1] & 0xFFFFFFFF)
-        src = raw[instr.vs2, :vl]
-        raw[instr.vd, :vl - 1] = src[1:vl]
-        raw[instr.vd, vl - 1] = fill
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslidedown_common(self, instr: Instr, amount: int):
-        vl = self.vl
-        raw = self.vrf.raw
-        if amount >= vl:
-            raw[instr.vd, :vl] = 0
-        else:
-            src = raw[instr.vs2, :vl].copy()
-            raw[instr.vd, :vl - amount] = src[amount:]
-            raw[instr.vd, vl - amount:vl] = 0
-
-    def _vslidedown_vx(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["slides"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        self._vslidedown_common(instr, self.xrf.values[instr.rs1])
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vslidedown_vi(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["slides"] += 1
-        issue = self._varith_issue(instr, None, instr.vs2, instr.vd)
-        complete = issue + self.config.vector.slide_latency
-        self._vslidedown_common(instr, instr.imm)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmv_v_i(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, None, instr.vd)
-        complete = issue + self.config.vector.move_latency
-        self.vrf.i32[instr.vd, :self.vl] = np.int32(instr.imm)
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmv_v_x(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, instr.rs1, instr.vd)
-        complete = issue + self.config.vector.move_latency
-        self.vrf.i32[instr.vd, :self.vl] = \
-            _i32(self.xrf.values[instr.rs1])
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmv_v_v(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        issue = self._varith_issue(instr, None, instr.vs1, instr.vd)
-        complete = issue + self.config.vector.move_latency
-        self.vrf.raw[instr.vd, :self.vl] = self.vrf.raw[instr.vs1, :self.vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vmv_x_s(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["v2s"] += 1
-        vcfg = self.config.vector
-        post = self._vpost(instr, None)
-        issue = self.vengine.issue(post, self.v_ready[instr.vs2])
-        complete = issue + vcfg.move_latency
-        value = int(self.vrf.i32[instr.vs2, 0])
-        self.xrf.write(instr.rd, value)
-        if instr.rd:
-            self.x_ready[instr.rd] = complete + vcfg.v2s_latency
-        self._bump_end(complete + vcfg.v2s_latency)
-        return None
-
-    def _vfmv_f_s(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["v2s"] += 1
-        vcfg = self.config.vector
-        post = self._vpost(instr, None)
-        issue = self.vengine.issue(post, self.v_ready[instr.vs2])
-        complete = issue + vcfg.move_latency
-        self.frf.write(instr.rd, float(self.vrf.f32[instr.vs2, 0]))
-        self.f_ready[instr.rd] = complete + vcfg.v2s_latency
-        self._bump_end(complete + vcfg.v2s_latency)
-        return None
-
-    def _vfmv_s_f(self, instr: Instr):
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        d = self.dispatch.next_dispatch()
-        t = self.f_ready[instr.rs1]
-        if t > d:
-            d = t
-        post = self.vengine.post(d)
-        self.dispatch.retire(post)
-        issue = self.vengine.issue(post, self.v_ready[instr.vd])
-        complete = issue + self.config.vector.move_latency
-        self.vrf.f32[instr.vd, 0] = np.float32(self.frf.values[instr.rs1])
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
-
-    def _vindexmac_vx(self, instr: Instr):
-        """The proposed instruction (Section III-A):
-
-        ``vd[i] += vs2[0] * vrf[rs1[4:0]][i]``
+    def _t_vindexmac(self, fexec, latency):
+        """The proposed instruction (Section III-A).
 
         Timing mirrors ``vfmacc.vf`` — the indexed VRF read reuses an
         existing read port behind a mux (Section III-B) — plus the
@@ -1044,24 +622,23 @@ class DecoupledProcessor:
         crucial property: **no memory access and no second
         vector-to-scalar round-trip**.
         """
-        c = self._counts
-        c["instructions"] += 1
-        c["vector"] += 1
-        c["vindexmac"] += 1
-        vcfg = self.config.vector
-        post = self._vpost(instr, instr.rs1)
-        index = self.xrf.values[instr.rs1] & 0x1F
-        vr = self.v_ready
-        operands = vr[instr.vs2]
-        if vr[instr.vd] > operands:
-            operands = vr[instr.vd]
-        if vr[index] > operands:
-            operands = vr[index]
-        issue = self.vengine.issue(post, operands)
-        complete = issue + vcfg.mac_latency + vcfg.indexmac_extra_latency
-        vl = self.vl
-        f32 = self.vrf.f32
-        f32[instr.vd, :vl] += f32[instr.vs2, 0] * f32[index, :vl]
-        self.v_ready[instr.vd] = complete
-        self._bump_end(complete)
-        return None
+        def handler(instr: Instr):
+            c = self._counts
+            c["instructions"] += 1
+            c["vector"] += 1
+            c["vindexmac"] += 1
+            post = self._vpost(instr, instr.rs1)
+            index = self.xrf.values[instr.rs1] & 0x1F
+            vr = self.v_ready
+            operands = vr[instr.vs2]
+            if vr[instr.vd] > operands:
+                operands = vr[instr.vd]
+            if vr[index] > operands:
+                operands = vr[index]
+            issue = self.vengine.issue(post, operands)
+            complete = issue + latency
+            fexec(instr)
+            vr[instr.vd] = complete
+            self._bump_end(complete)
+            return None
+        return handler

@@ -55,6 +55,12 @@ class DispatchUnit:
         self._rob.append(commit)
         return commit
 
+    def shift(self, dt: float) -> None:
+        """Advance all clocks by ``dt`` cycles (compressed-replay warp)."""
+        self._cycle += dt
+        self._last_commit += dt
+        self._rob = deque(t + dt for t in self._rob)
+
     @property
     def last_commit(self) -> float:
         return self._last_commit

@@ -1,0 +1,92 @@
+"""Pluggable timing backends behind a name registry.
+
+A *timing backend* decides how the cycle model is applied to a
+loop-annotated :class:`~repro.isa.trace.Trace`:
+
+``detailed``
+    every dynamic instruction is timed (the reference model);
+``compressed-replay``
+    steady-state loop iterations are timed once and extrapolated,
+    with all skipped iterations still executed bit-exactly.
+
+Select a backend by name everywhere a simulation is launched —
+``run_spmm(..., backend=...)``, ``SimJob(backend=...)``, the CLI's
+``--backend`` flag, or the ``REPRO_BACKEND`` environment variable.
+Future backends (batched numpy timing, multi-core sharding) plug in via
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.arch.timing.base import BackendResult, TimingBackend
+from repro.arch.timing.compressed import CompressedReplayBackend
+from repro.arch.timing.detailed import DetailedBackend
+from repro.errors import BackendError
+
+DETAILED = DetailedBackend.name
+COMPRESSED_REPLAY = CompressedReplayBackend.name
+
+#: The default backend preserves the simulator's historical behaviour.
+DEFAULT_BACKEND = DETAILED
+
+_BACKENDS: dict[str, type[TimingBackend]] = {}
+
+
+def register_backend(cls: type[TimingBackend]) -> type[TimingBackend]:
+    """Register a backend class under ``cls.name`` (decorator-friendly)."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise BackendError(f"{cls!r} has no usable 'name' attribute")
+    _BACKENDS[name] = cls
+    return cls
+
+
+register_backend(DetailedBackend)
+register_backend(CompressedReplayBackend)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Pick the effective backend name.
+
+    Explicit ``name`` wins, then ``$REPRO_BACKEND``, then
+    :data:`DEFAULT_BACKEND`.  Unknown names raise so that a typo can
+    never silently fall back to a different simulator.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    if name not in _BACKENDS:
+        known = ", ".join(available_backends())
+        raise BackendError(f"unknown timing backend {name!r} "
+                           f"(known: {known})")
+    return name
+
+
+def get_backend(name: str | None = None, **kwargs) -> TimingBackend:
+    """Instantiate the backend selected by :func:`resolve_backend`.
+
+    ``kwargs`` are forwarded to the backend constructor (e.g.
+    ``lead=``/``trail=``/``chunk=`` for ``compressed-replay``).
+    """
+    return _BACKENDS[resolve_backend(name)](**kwargs)
+
+
+__all__ = [
+    "BackendResult",
+    "COMPRESSED_REPLAY",
+    "CompressedReplayBackend",
+    "DEFAULT_BACKEND",
+    "DETAILED",
+    "DetailedBackend",
+    "TimingBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

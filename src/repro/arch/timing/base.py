@@ -1,0 +1,62 @@
+"""Timing-backend interface shared by every simulation strategy.
+
+A backend consumes a loop-annotated :class:`~repro.isa.trace.Trace`
+through a :class:`~repro.arch.processor.DecoupledProcessor` and decides
+*which* dynamic instructions get detailed timing.  Functional execution
+is never optional — every backend leaves registers and memory bit-exact
+— only the cycle/stat accounting strategy differs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.arch.stats import ExecutionStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.processor import DecoupledProcessor
+    from repro.isa.trace import Trace
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """What a timing backend produced for one trace."""
+
+    stats: ExecutionStats          #: cycles + counters (extrapolated or not)
+    timed_instructions: int        #: instructions that got detailed timing
+    dynamic_instructions: int      #: instructions executed functionally
+
+    @property
+    def compression(self) -> float:
+        """Dynamic-to-timed instruction ratio (1.0 = everything timed)."""
+        if not self.timed_instructions:
+            return 1.0
+        return self.dynamic_instructions / self.timed_instructions
+
+
+class TimingBackend(ABC):
+    """One strategy for assigning cycles to a trace."""
+
+    #: Registry name (also the ``--backend`` CLI value).
+    name: ClassVar[str]
+
+    @abstractmethod
+    def run(self, proc: "DecoupledProcessor",
+            trace: "Trace") -> BackendResult:
+        """Drive ``proc`` through ``trace`` and return the accounting.
+
+        ``proc`` must be freshly constructed (or at least consistent
+        with the trace's expectations about staged memory); the backend
+        mutates it.
+        """
+
+    def record(self, result_stats: ExecutionStats, timed: int,
+               dynamic: int) -> BackendResult:
+        """Stamp the bookkeeping into ``stats.extra`` and wrap it."""
+        result_stats.extra["backend"] = self.name
+        result_stats.extra["timed_instructions"] = timed
+        result_stats.extra["dynamic_instructions"] = dynamic
+        return BackendResult(stats=result_stats, timed_instructions=timed,
+                             dynamic_instructions=dynamic)

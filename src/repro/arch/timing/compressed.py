@@ -1,0 +1,237 @@
+"""Compressed-replay: time representative iterations, extrapolate the rest.
+
+Kernels for tiled GEMMs spend almost all their dynamic instructions in
+steady-state loops whose iterations execute the *identical* instruction
+sequence (pointers advance in registers).  Simulating every iteration in
+detail is redundant — the insight behind trace-based models like TBM and
+the stream-semantic steady-state argument of Scheffler et al.
+
+Every steady loop long enough to be worth compressing is handled with a
+**bracket**:
+
+1. ``lead`` leading iterations are timed in full detail.  They really
+   are slower (cold caches, pipeline and queue fill), and their true
+   cost is kept verbatim.
+2. The middle iterations are **replayed** through the functional core
+   plus the memory hierarchy: registers, memory, cache tags and
+   hit/miss/DRAM statistics advance exactly (the access order is the
+   true program order), while the per-access clocks are saved and
+   restored so the bandwidth model is not polluted by the frozen-time
+   walk.
+3. ``trail`` trailing iterations are timed in detail — by now the
+   caches hold their steady-state contents, so these iterations carry
+   the representative warm per-iteration cycle cost.
+4. The middle is charged ``base x n + per_miss x excess_misses``:
+   ``base`` is the warm per-iteration cost from the trail, the excess
+   L2 misses were counted *exactly* during the replay, and ``per_miss``
+   — the marginal cost of one miss — comes from the contrast between
+   the post-first lead iterations and the trail (the first lead
+   iteration is excluded from the contrast: its surcharge is pipeline
+   fill, not misses).  Instruction-class counters grow by the exact
+   per-iteration mix.
+
+Nested steady loops compress recursively — a timed outer iteration may
+itself contain a bracketed inner loop.  Tight loop bodies (fewer than
+``min_body`` instructions, e.g. the per-non-zero inner loops) stay
+fully detailed: their per-iteration completion-time deltas are
+dominated by cross-iteration pipelining and do not extrapolate
+reliably.
+
+The relative cycle error of a bracket shrinks as loops grow (the
+transient fraction falls), so accuracy *improves* exactly where the
+compression pays off most; see ``benchmarks/bench_backends.py`` and the
+tolerance gate in :mod:`repro.analytic.validation`.
+
+Accuracy contract: functional results are bit-exact; instruction-class
+counts (including the Fig. 6 vector-memory-access metric) and cache/
+DRAM access counts are exact; cycles are approximate (see
+:data:`repro.analytic.validation.BACKEND_CYCLE_TOLERANCE`).
+"""
+
+from __future__ import annotations
+
+from repro.arch.functional import FunctionalCore
+from repro.arch.timing.base import BackendResult, TimingBackend
+from repro.errors import BackendError
+from repro.isa.instructions import Op
+from repro.isa.trace import Block
+
+#: Byte sizes of the scalar memory operations (loads and stores).
+_SCALAR_LOAD_BYTES = {op: size
+                      for op, (size, _) in FunctionalCore._LOAD_SIZES.items()}
+_SCALAR_LOAD_BYTES[Op.FLW] = 4
+_SCALAR_STORE_BYTES = dict(FunctionalCore._STORE_SIZES)
+_SCALAR_STORE_BYTES[Op.FSW] = 4
+
+
+class CompressedReplayBackend(TimingBackend):
+    """Steady-state extrapolating timing model (see module docstring).
+
+    ``lead``/``trail`` are the detailed iterations bracketing each
+    steady loop's replayed middle, ``chunk`` is how many iterations may
+    be replayed between two timed probes (growing geometrically up to
+    ``4 x chunk``), and ``min_body``/``min_repeat`` are the loop-body
+    size and trip count below which loops stay fully detailed.
+    """
+
+    name = "compressed-replay"
+
+    def __init__(self, lead: int = 2, trail: int = 2, chunk: int = 8,
+                 min_body: int = 32, min_repeat: int = 16):
+        if lead < 1 or trail < 1:
+            raise BackendError(
+                f"need lead >= 1 and trail >= 1, got lead={lead} "
+                f"trail={trail}")
+        if chunk < 2 or min_body < 1:
+            raise BackendError(
+                f"need chunk >= 2 and min_body >= 1, got chunk={chunk} "
+                f"min_body={min_body}")
+        if min_repeat <= lead + trail:
+            raise BackendError(
+                f"min_repeat ({min_repeat}) must exceed lead + trail")
+        self.lead = lead
+        self.trail = trail
+        self.chunk = chunk
+        self.min_body = min_body
+        self.min_repeat = min_repeat
+
+    def run(self, proc, trace) -> BackendResult:
+        timed = self._time_nodes(proc, trace.nodes)
+        stats = proc.stats()
+        return self.record(stats, timed, trace.dynamic_length)
+
+    # ------------------------------------------------------------------
+    def _time_nodes(self, proc, nodes) -> int:
+        """Time a node sequence in detail (compressing steady loops);
+        returns how many instructions received detailed timing."""
+        timed = 0
+        step = proc.step
+        for node in nodes:
+            if type(node) is Block:
+                for instr in node.instrs:
+                    step(instr)
+                timed += len(node.instrs)
+            else:
+                timed += self._time_loop(proc, node)
+        return timed
+
+    def _detailed_loop(self, proc, loop) -> int:
+        timed = 0
+        for _ in range(loop.repeat):
+            timed += self._time_nodes(proc, loop.body)
+        return timed
+
+    def _time_loop(self, proc, loop) -> int:
+        if (not loop.steady or loop.repeat < self.min_repeat
+                or loop.body_length < self.min_body):
+            return self._detailed_loop(proc, loop)
+        body = loop.body
+
+        # ---- lead: the true (cold) start-up cost, kept verbatim; the
+        # post-first iterations double as the high-miss contrast sample
+        timed = 0
+        late_cycles = 0.0
+        late_misses = 0.0
+        for index in range(self.lead):
+            c0, m0 = proc.cycles, proc.hierarchy.l2.misses
+            timed += self._time_nodes(proc, body)
+            if index > 0:
+                late_cycles += proc.cycles - c0
+                late_misses += proc.hierarchy.l2.misses - m0
+        if self.lead > 1:
+            late_cycles /= self.lead - 1
+            late_misses /= self.lead - 1
+
+        # ---- middle: replay chunks, each followed by one timed probe
+        # whose warm local cost prices the chunk it just closed (warm
+        # pricing: the cache state at the probe reflects everything the
+        # chunk streamed in).  The chunks grow geometrically: cache
+        # behaviour drifts fastest right after the cold start, so
+        # probes are dense early and sparse once the loop settles.
+        replayed_total = 0
+        remaining = loop.repeat - self.lead
+        pending_shift = 0.0
+        chunk = float(self.chunk)
+        while remaining > self.trail + 1:
+            n = min(int(chunk), remaining - self.trail - 1)
+            chunk = min(chunk * 1.5, 4.0 * self.chunk)
+            clocks = proc.hierarchy.clock_state()
+            m0 = proc.hierarchy.l2.misses
+            self._replay_nodes(proc, body, n)
+            chunk_misses = proc.hierarchy.l2.misses - m0
+            proc.hierarchy.restore_clock_state(clocks)
+            # probe: two timed iterations, averaged — single iterations
+            # alias the period-2 noise of streams crossing DRAM rows
+            probe_len = min(2, remaining - n - self.trail)
+            c0, m0 = proc.cycles, proc.hierarchy.l2.misses
+            for _ in range(probe_len):
+                timed += self._time_nodes(proc, body)
+            probe_cycles = (proc.cycles - c0) / probe_len
+            probe_misses = (proc.hierarchy.l2.misses - m0) / probe_len
+            remaining -= n + probe_len
+            replayed_total += n
+            if late_misses > probe_misses and late_cycles > probe_cycles:
+                per_miss = (late_cycles - probe_cycles) \
+                    / (late_misses - probe_misses)
+            else:
+                per_miss = 0.0
+            excess = max(0.0, chunk_misses - probe_misses * n)
+            # replayed iterations sit between the cold lead and the warm
+            # probe; their cost is bracketed by those two observations
+            # (guards against a degenerate per-miss divisor)
+            estimate = probe_cycles * n + per_miss * excess
+            ceiling = max(late_cycles, probe_cycles) * n
+            pending_shift += min(estimate, ceiling)
+
+        # ---- trail: detailed to the end; its window also yields the
+        # exact per-iteration instruction mix
+        before = proc.counter_snapshot()
+        trail_done = 0
+        while remaining > 0:
+            timed += self._time_nodes(proc, body)
+            remaining -= 1
+            trail_done += 1
+        after = proc.counter_snapshot()
+        counts = {key: (after[key] - before[key]) // trail_done
+                  for key in proc.counter_keys()}
+        proc.charge(counts, replayed_total, pending_shift)
+        return timed
+
+    def _replay_nodes(self, proc, nodes, repeat: int) -> None:
+        """Execute ``repeat`` iterations of ``nodes`` without timing.
+
+        Every instruction runs through the functional core; memory
+        instructions additionally probe the hierarchy at a frozen
+        timestamp so cache contents and access statistics stay exact.
+        """
+        core = proc.core
+        execute = core.execute
+        hierarchy = proc.hierarchy
+        vector_access = hierarchy.vector_access
+        scalar_access = hierarchy.scalar_access
+        xv = core.xrf.values
+        at = proc.cycles
+        for _ in range(repeat):
+            for node in nodes:
+                if type(node) is Block:
+                    for instr in node.instrs:
+                        op = instr.op
+                        if op is Op.VLE32:
+                            vector_access(xv[instr.rs1], 4 * core.vl, at,
+                                          False)
+                        elif op is Op.VSE32:
+                            vector_access(xv[instr.rs1], 4 * core.vl, at,
+                                          True)
+                        else:
+                            size = _SCALAR_LOAD_BYTES.get(op)
+                            if size is not None:
+                                scalar_access(xv[instr.rs1] + instr.imm,
+                                              size, at, False)
+                            else:
+                                size = _SCALAR_STORE_BYTES.get(op)
+                                if size is not None:
+                                    scalar_access(xv[instr.rs1] + instr.imm,
+                                                  size, at, True)
+                        execute(instr)
+                else:
+                    self._replay_nodes(proc, node.body, node.repeat)

@@ -87,6 +87,14 @@ class VectorEngine:
     def store_inflight(self, completion: float) -> None:
         self._sq.append(completion)
 
+    def shift(self, dt: float) -> None:
+        """Advance all clocks by ``dt`` cycles (compressed-replay warp)."""
+        self._last_post += dt
+        self._last_issue += dt
+        self._viq = deque(t + dt for t in self._viq)
+        self._lq = deque(t + dt for t in self._lq)
+        self._sq = deque(t + dt for t in self._sq)
+
     @property
     def last_issue(self) -> float:
         return self._last_issue

@@ -12,16 +12,18 @@ Commands
 ``layers``      list a model's convolutions and GEMM shapes
 ``encode``      assemble one instruction and show its encoding
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
+``crosscheck``  gate ``compressed-replay`` against ``detailed``
 
 Experiment engine
 -----------------
 The simulation-backed commands (``fig4``/``fig5``/``fig6``/
 ``ablations``/``bench``) accept ``--jobs N`` (worker processes, ``0``
-meaning one per CPU) and ``--no-cache`` (skip the on-disk result cache
-at ``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sim``).  Identical
-(kernel, workload, config) simulations are executed exactly once and
-shared across figures and invocations; see :mod:`repro.eval.engine`
-for the cache-invalidation rules.
+meaning one per CPU), ``--no-cache`` (skip the on-disk result cache
+at ``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sim``) and
+``--backend`` (timing backend; also ``$REPRO_BACKEND``).  Identical
+(kernel, workload, config, backend) simulations are executed exactly
+once and shared across figures and invocations; see
+:mod:`repro.eval.engine` for the cache-invalidation rules.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ import time
 from pathlib import Path
 
 from repro.arch.config import ProcessorConfig
+from repro.arch.timing import available_backends, resolve_backend
 from repro.eval.engine import (
     ExperimentEngine,
     SimJob,
@@ -69,6 +72,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk "
                              "simulation result cache")
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=available_backends(),
+                        help="timing backend (default: $REPRO_BACKEND "
+                             "or 'detailed')")
 
 
 def _install_engine(args) -> ExperimentEngine:
@@ -85,6 +96,10 @@ def _policy_and_config(args):
     return policy, ProcessorConfig.scaled_default()
 
 
+def _backend(args) -> str:
+    return resolve_backend(getattr(args, "backend", None))
+
+
 def cmd_table1(args) -> int:
     print(run_table1().render())
     return 0
@@ -93,7 +108,8 @@ def cmd_table1(args) -> int:
 def cmd_fig4(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig4(model=args.model, policy=policy, config=config).render())
+    print(run_fig4(model=args.model, policy=policy, config=config,
+                   backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
 
@@ -101,7 +117,8 @@ def cmd_fig4(args) -> int:
 def cmd_fig5(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig5(policy=policy, config=config).render())
+    print(run_fig5(policy=policy, config=config,
+                   backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
 
@@ -109,7 +126,8 @@ def cmd_fig5(args) -> int:
 def cmd_fig6(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig6(policy=policy, config=config).render())
+    print(run_fig6(policy=policy, config=config,
+                   backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
 
@@ -117,10 +135,12 @@ def cmd_fig6(args) -> int:
 def cmd_ablations(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
+    backend = _backend(args)
     for runner in (run_dataflow_ablation, run_unroll_ablation,
                    run_tile_rows_ablation, run_csr_ablation,
                    run_sparsity_sweep):
-        print(runner(policy=policy, config=config).render())
+        print(runner(policy=policy, config=config,
+                     backend=backend).render())
         print()
     print(f"[{engine.summary()}]")
     return 0
@@ -129,31 +149,35 @@ def cmd_ablations(args) -> int:
 # ======================================================================
 # bench — regenerate paper artifacts through the engine
 # ======================================================================
-#: name -> (title, results file stem, driver(policy, config) -> result)
+#: name -> (title, results file stem,
+#:           driver(policy, config, backend) -> result)
 ARTIFACTS = {
     "table1": ("Table I", "table1",
-               lambda policy, config: run_table1()),
+               lambda policy, config, backend: run_table1()),
     "fig4": ("Fig. 4", "fig4",
-             lambda policy, config: run_fig4(policy=policy, config=config)),
+             lambda policy, config, backend: run_fig4(
+                 policy=policy, config=config, backend=backend)),
     "fig5": ("Fig. 5", "fig5",
-             lambda policy, config: run_fig5(policy=policy, config=config)),
+             lambda policy, config, backend: run_fig5(
+                 policy=policy, config=config, backend=backend)),
     "fig6": ("Fig. 6", "fig6",
-             lambda policy, config: run_fig6(policy=policy, config=config)),
+             lambda policy, config, backend: run_fig6(
+                 policy=policy, config=config, backend=backend)),
     "a1": ("A1 dataflow ablation", "ablation_dataflow",
-           lambda policy, config: run_dataflow_ablation(policy=policy,
-                                                        config=config)),
+           lambda policy, config, backend: run_dataflow_ablation(
+               policy=policy, config=config, backend=backend)),
     "a2": ("A2 unroll ablation", "ablation_unroll",
-           lambda policy, config: run_unroll_ablation(policy=policy,
-                                                      config=config)),
+           lambda policy, config, backend: run_unroll_ablation(
+               policy=policy, config=config, backend=backend)),
     "a3": ("A3 tile-rows ablation", "ablation_tile_rows",
-           lambda policy, config: run_tile_rows_ablation(policy=policy,
-                                                         config=config)),
+           lambda policy, config, backend: run_tile_rows_ablation(
+               policy=policy, config=config, backend=backend)),
     "a4": ("A4 CSR ablation", "ablation_csr",
-           lambda policy, config: run_csr_ablation(policy=policy,
-                                                   config=config)),
+           lambda policy, config, backend: run_csr_ablation(
+               policy=policy, config=config, backend=backend)),
     "a5": ("A5 sparsity sweep", "ablation_sparsity",
-           lambda policy, config: run_sparsity_sweep(policy=policy,
-                                                     config=config)),
+           lambda policy, config, backend: run_sparsity_sweep(
+               policy=policy, config=config, backend=backend)),
 }
 
 
@@ -166,10 +190,11 @@ def cmd_bench(args) -> int:
     names = list(dict.fromkeys(names))  # dedupe, keep order
     out_dir = Path(args.out)
     start_all = time.perf_counter()
+    backend = _backend(args)
     for i, name in enumerate(names, 1):
         title, stem, driver = ARTIFACTS[name]
         start = time.perf_counter()
-        result = driver(policy, config)
+        result = driver(policy, config, backend)
         text = result.render()
         elapsed = time.perf_counter() - start
         path = out_dir / f"{stem}.txt"
@@ -213,9 +238,11 @@ def cmd_quickcheck(args) -> int:
                                        cache=False)
     set_engine(engine)
     config = ProcessorConfig.scaled_default()
+    backend = _backend(args)
     patterns = ((1, 4), (2, 4))
     runs = engine.run([
-        SimJob.for_shape(16, 64, 32, nm, kernel, seed=0, config=config)
+        SimJob.for_shape(16, 64, 32, nm, kernel, seed=0, config=config,
+                         backend=backend)
         for nm in patterns
         for kernel in (BASELINE, PROPOSED)
     ])
@@ -227,7 +254,33 @@ def cmd_quickcheck(args) -> int:
         status = "ok" if speedup > 1.0 else "FAIL"
         ok &= speedup > 1.0
         print(f"{nm[0]}:{nm[1]}  speedup {speedup:.2f}x  "
-              f"mem saved {saved:.0%}  results verified  [{status}]")
+              f"mem saved {saved:.0%}  results verified  "
+              f"[{backend}] [{status}]")
+    return 0 if ok else 1
+
+
+def cmd_crosscheck(args) -> int:
+    """Gate `compressed-replay` against `detailed` (CI smoke job)."""
+    import numpy as np
+
+    from repro.analytic.validation import (
+        BACKEND_CYCLE_TOLERANCE,
+        validate_backend,
+    )
+    from repro.eval.comparison import BASELINE, PROPOSED
+    from repro.nn.workload import make_workload
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else BACKEND_CYCLE_TOLERANCE)
+    ok = True
+    for rows, k, n, nm in ((64, 64, 32, (1, 4)), (64, 128, 32, (2, 4)),
+                           (32, 64, 64, (2, 8))):
+        rng = np.random.default_rng(0)
+        a, b = make_workload(rows, k, n, *nm, rng)
+        for kernel in (BASELINE, PROPOSED):
+            report = validate_backend(a, b, kernel, tolerance=tolerance)
+            print(f"{rows}x{k}x{n} {nm[0]}:{nm[1]}  {report.summary()}")
+            ok &= report.ok
     return 0 if ok else 1
 
 
@@ -288,7 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quickcheck", help="fast end-to-end sanity run")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes (0 = one per CPU)")
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_quickcheck)
+
+    p = sub.add_parser(
+        "crosscheck",
+        help="validate compressed-replay against detailed (tolerance gate)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative cycle tolerance (default: the "
+                        "documented BACKEND_CYCLE_TOLERANCE)")
+    p.set_defaults(fn=cmd_crosscheck)
     return parser
 
 

@@ -35,3 +35,7 @@ class WorkloadError(ReproError):
 
 class EngineError(ReproError):
     """An experiment-engine job or cache operation is invalid."""
+
+
+class BackendError(ReproError):
+    """A timing backend is unknown or misconfigured."""

@@ -25,6 +25,8 @@ Cache rules
 Environment knobs (read when the default engine is built):
 ``REPRO_JOBS`` (worker processes; ``0`` = one per CPU, default ``1``)
 and ``REPRO_NO_CACHE`` (any non-empty value disables the disk cache).
+``REPRO_BACKEND`` selects the timing backend when a job is built
+without an explicit ``backend=`` (see :mod:`repro.arch.timing`).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ import numpy as np
 
 from repro.arch.config import ProcessorConfig
 from repro.arch.stats import ExecutionStats
+from repro.arch.timing import resolve_backend
 from repro.errors import EngineError
 from repro.eval.runner import CSR_KERNEL, KernelRun, run_csr, run_spmm
 from repro.kernels.builder import KernelOptions
@@ -50,7 +53,10 @@ from repro.nn.models import get_model
 from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 
 #: Bump whenever a simulator/workload change invalidates cached results.
-CACHE_SCHEMA = 1
+#: Schema 2: timing backends — the backend is part of the job identity,
+#: so cached ``detailed`` results can never answer ``compressed-replay``
+#: runs (or vice versa).
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:
@@ -81,6 +87,10 @@ class SimJob:
     config: ProcessorConfig = field(
         default_factory=ProcessorConfig.scaled_default)
     verify: bool = True
+    #: Timing backend name (part of the cache identity: a detailed
+    #: result must never be served for a compressed-replay job).
+    #: ``None`` resolves via ``$REPRO_BACKEND``, default ``detailed``.
+    backend: str | None = None
     # -- workload source A: a (scaled) CNN layer GEMM.  The policy is
     # carried by value, so custom (unregistered) policies work and two
     # policies sharing a name can never alias in the cache.
@@ -92,6 +102,9 @@ class SimJob:
     seed: int | None = None
 
     def __post_init__(self):
+        # resolve (and validate) the backend eagerly so the content
+        # hash always sees a concrete name, however the job was built
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
         layer_src = (self.model, self.layer, self.policy)
         shape_src = (self.shape, self.seed)
         if not ((all(v is not None for v in layer_src)
@@ -107,22 +120,26 @@ class SimJob:
                   policy: ScalePolicy, kernel: str,
                   options: KernelOptions | None = None,
                   config: ProcessorConfig | None = None,
-                  verify: bool = True) -> "SimJob":
+                  verify: bool = True,
+                  backend: str | None = None) -> "SimJob":
         return cls(kernel=kernel, nm=tuple(nm),
                    options=options or KernelOptions(),
                    config=config or ProcessorConfig.scaled_default(),
-                   verify=verify, model=model, layer=layer, policy=policy)
+                   verify=verify, backend=backend,
+                   model=model, layer=layer, policy=policy)
 
     @classmethod
     def for_shape(cls, rows: int, k: int, n: int, nm: tuple[int, int],
                   kernel: str, seed: int = 0,
                   options: KernelOptions | None = None,
                   config: ProcessorConfig | None = None,
-                  verify: bool = True) -> "SimJob":
+                  verify: bool = True,
+                  backend: str | None = None) -> "SimJob":
         return cls(kernel=kernel, nm=tuple(nm),
                    options=options or KernelOptions(),
                    config=config or ProcessorConfig.scaled_default(),
-                   verify=verify, shape=(rows, k, n), seed=seed)
+                   verify=verify, backend=backend,
+                   shape=(rows, k, n), seed=seed)
 
 
 def _canonical(value):
@@ -170,9 +187,11 @@ def execute_job(job: SimJob) -> KernelRun:
     """Run one job to completion (the worker-process entry point)."""
     a, b = job_operands(job)
     if job.kernel == CSR_KERNEL:
-        return run_csr(a, b, config=job.config, verify=job.verify)
+        return run_csr(a, b, config=job.config, verify=job.verify,
+                       backend=job.backend)
     return run_spmm(a, b, job.kernel, options=job.options,
-                    config=job.config, verify=job.verify)
+                    config=job.config, verify=job.verify,
+                    backend=job.backend)
 
 
 # ======================================================================
@@ -216,7 +235,8 @@ class ResultCache:
                 raise ValueError("stale cache schema")
             stats = ExecutionStats(**payload["stats"])
             return KernelRun(kernel=payload["kernel"], stats=stats,
-                             verified=payload["verified"])
+                             verified=payload["verified"],
+                             backend=payload["backend"])
         except FileNotFoundError:
             return None
         except (OSError, ValueError, TypeError, KeyError):
@@ -232,6 +252,7 @@ class ResultCache:
             "job": _canonical(job),
             "kernel": run.kernel,
             "verified": run.verified,
+            "backend": run.backend,
             "stats": _canonical(run.stats),
         }
         atomic_write_text(self.path(key),

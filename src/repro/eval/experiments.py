@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.analytic.costmodel import spmm_cost
 from repro.arch.config import ProcessorConfig
+from repro.arch.timing import resolve_backend
 from repro.eval import paper
 from repro.eval.comparison import (
     BASELINE,
@@ -53,7 +54,8 @@ def model_comparisons(model: str, nm: tuple[int, int],
                       policy: ScalePolicy = SMALL,
                       config: ProcessorConfig | None = None,
                       options: KernelOptions | None = None,
-                      verify: bool = True) -> list[LayerComparison]:
+                      verify: bool = True,
+                      backend: str | None = None) -> list[LayerComparison]:
     """Simulate both designs on every unique layer GEMM of ``model``.
 
     Layers with identical GEMM shapes are simulated once and carry a
@@ -64,13 +66,14 @@ def model_comparisons(model: str, nm: tuple[int, int],
     """
     config = config or ProcessorConfig.scaled_default()
     options = options or paper_options()
-    key = (model, nm, policy, config, options, verify)
+    backend = resolve_backend(backend)
+    key = (model, nm, policy, config, options, verify, backend)
     if key in _COMPARISON_CACHE:
         return _COMPARISON_CACHE[key]
     layers = list(unique_gemm_layers(get_model(model)))
     jobs = [
         SimJob.for_layer(model, layer.name, nm, policy, kernel,
-                         options, config, verify)
+                         options, config, verify, backend)
         for layer, _ in layers
         for kernel in (BASELINE, PROPOSED)
     ]
@@ -142,9 +145,11 @@ class Fig4Result:
 def run_fig4(model: str = "resnet50", policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
              options: KernelOptions | None = None,
-             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig4Result:
+             sparsities=paper.SPARSITIES, verify: bool = True,
+             backend: str | None = None) -> Fig4Result:
     comparisons = {
-        nm: model_comparisons(model, nm, policy, config, options, verify)
+        nm: model_comparisons(model, nm, policy, config, options, verify,
+                              backend)
         for nm in sparsities
     }
     return Fig4Result(model=model, policy=policy.name,
@@ -185,12 +190,13 @@ class Fig5Result:
 def run_fig5(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
              options: KernelOptions | None = None,
-             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig5Result:
+             sparsities=paper.SPARSITIES, verify: bool = True,
+             backend: str | None = None) -> Fig5Result:
     totals = {}
     for model in models:
         for nm in sparsities:
             comps = model_comparisons(model, nm, policy, config, options,
-                                      verify)
+                                      verify, backend)
             totals[(model, nm)] = aggregate_speedup(comps)
     return Fig5Result(policy=policy.name, totals=totals)
 
@@ -254,13 +260,14 @@ def _analytic_model_mem_ratio(model: str, nm: tuple[int, int],
 def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
              options: KernelOptions | None = None,
-             sparsities=paper.SPARSITIES, verify: bool = True) -> Fig6Result:
+             sparsities=paper.SPARSITIES, verify: bool = True,
+             backend: str | None = None) -> Fig6Result:
     options = options or paper_options()
     simulated, analytic = {}, {}
     for model in models:
         for nm in sparsities:
             comps = model_comparisons(model, nm, policy, config, options,
-                                      verify)
+                                      verify, backend)
             simulated[(model, nm)] = aggregate_mem_ratio(comps)
             analytic[(model, nm)] = _analytic_model_mem_ratio(
                 model, nm, options)
@@ -286,15 +293,17 @@ def _ablation_job(kernel: str, nm=(1, 4), policy: ScalePolicy = SMALL,
                   config: ProcessorConfig | None = None,
                   options: KernelOptions | None = None,
                   verify: bool = True,
-                  layer_name: str = "conv3_1_3x3") -> SimJob:
+                  layer_name: str = "conv3_1_3x3",
+                  backend: str | None = None) -> SimJob:
     """A job on a representative ResNet50 layer (default: conv3_x 3x3)."""
     return SimJob.for_layer("resnet50", layer_name, nm, policy,
-                            kernel, options, config, verify)
+                            kernel, options, config, verify, backend)
 
 
 def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                           config: ProcessorConfig | None = None,
-                          verify: bool = True) -> AblationResult:
+                          verify: bool = True,
+                          backend: str | None = None) -> AblationResult:
     """A1: B-stationary is the best dataflow for Row-Wise-SpMM (IV-A)."""
     config = config or ProcessorConfig.scaled_default()
     # dataflow choice only matters when B exceeds the L2: use the
@@ -303,7 +312,7 @@ def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
     runs = get_engine().run([
         _ablation_job(BASELINE, nm, policy, config,
                       paper_options(dataflow=df), verify,
-                      layer_name="conv2_1_3x3")
+                      layer_name="conv2_1_3x3", backend=backend)
         for df in dataflows
     ])
     rows = []
@@ -325,13 +334,15 @@ def run_dataflow_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
 
 def run_unroll_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                         config: ProcessorConfig | None = None,
-                        verify: bool = True) -> AblationResult:
+                        verify: bool = True,
+                        backend: str | None = None) -> AblationResult:
     """A2: loop unrolling helps both kernels (IV-A uses x4)."""
     config = config or ProcessorConfig.scaled_default()
     unrolls = (1, 2, 4)
     runs = get_engine().run([
         _ablation_job(kernel, nm, policy, config,
-                      paper_options(unroll=unroll), verify)
+                      paper_options(unroll=unroll), verify,
+                      backend=backend)
         for unroll in unrolls
         for kernel in (BASELINE, PROPOSED)
     ])
@@ -353,13 +364,15 @@ def run_unroll_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
 
 def run_tile_rows_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                            config: ProcessorConfig | None = None,
-                           verify: bool = True) -> AblationResult:
+                           verify: bool = True,
+                           backend: str | None = None) -> AblationResult:
     """A3: pre-loaded tile height L (the paper uses L=16)."""
     config = config or ProcessorConfig.scaled_default()
     sizes = (4, 8, 16)
     runs = get_engine().run([
         _ablation_job(PROPOSED, nm, policy, config,
-                      paper_options(tile_rows=tile_rows), verify)
+                      paper_options(tile_rows=tile_rows), verify,
+                      backend=backend)
         for tile_rows in sizes
     ])
     rows = []
@@ -380,7 +393,8 @@ def run_sparsity_sweep(policy: ScalePolicy = SMALL,
                        config: ProcessorConfig | None = None,
                        patterns=((1, 8), (1, 4), (2, 8), (1, 2), (2, 4),
                                  (4, 8)),
-                       verify: bool = True) -> AblationResult:
+                       verify: bool = True,
+                       backend: str | None = None) -> AblationResult:
     """A5: speedup and memory savings across N:M patterns.
 
     Extension beyond the paper (which evaluates 1:4 and 2:4): the
@@ -390,7 +404,8 @@ def run_sparsity_sweep(policy: ScalePolicy = SMALL,
     """
     config = config or ProcessorConfig.scaled_default()
     runs = get_engine().run([
-        _ablation_job(kernel, nm, policy, config, paper_options(), verify)
+        _ablation_job(kernel, nm, policy, config, paper_options(), verify,
+                      backend=backend)
         for nm in patterns
         for kernel in (BASELINE, PROPOSED)
     ])
@@ -415,7 +430,8 @@ def run_sparsity_sweep(policy: ScalePolicy = SMALL,
 
 def run_csr_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
                      config: ProcessorConfig | None = None,
-                     verify: bool = True) -> AblationResult:
+                     verify: bool = True,
+                     backend: str | None = None) -> AblationResult:
     """A4: unstructured CSR at equal density vs the structured kernels.
 
     The CSR run re-encodes the identical N:M matrix as plain CSR and
@@ -425,9 +441,12 @@ def run_csr_ablation(nm=(1, 4), policy: ScalePolicy = SMALL,
     config = config or ProcessorConfig.scaled_default()
     opts = paper_options()
     base, prop, csr_run = get_engine().run([
-        _ablation_job(BASELINE, nm, policy, config, opts, verify),
-        _ablation_job(PROPOSED, nm, policy, config, opts, verify),
-        _ablation_job(CSR_KERNEL, nm, policy, config, opts, verify),
+        _ablation_job(BASELINE, nm, policy, config, opts, verify,
+                      backend=backend),
+        _ablation_job(PROPOSED, nm, policy, config, opts, verify,
+                      backend=backend),
+        _ablation_job(CSR_KERNEL, nm, policy, config, opts, verify,
+                      backend=backend),
     ])
     csr_stats = csr_run.stats
     rows = [

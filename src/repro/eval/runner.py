@@ -9,10 +9,11 @@ import numpy as np
 from repro.arch.config import ProcessorConfig
 from repro.arch.processor import DecoupledProcessor
 from repro.arch.stats import ExecutionStats
+from repro.arch.timing import DETAILED, get_backend, resolve_backend
 from repro.errors import SimulationError
 from repro.kernels.builder import KernelOptions
 from repro.kernels.layout import read_result, stage_spmm
-from repro.kernels.registry import get_kernel
+from repro.kernels.registry import get_trace_kernel
 from repro.nn.workload import LayerWorkload
 from repro.sparse.blocksparse import NMSparseMatrix
 
@@ -24,37 +25,57 @@ class KernelRun:
     kernel: str
     stats: ExecutionStats
     verified: bool
+    backend: str = DETAILED
 
     @property
     def cycles(self) -> float:
         return self.stats.cycles
 
+    @property
+    def timed_instructions(self) -> int:
+        """Instructions that received detailed timing (== ``stats.
+        instructions`` for the ``detailed`` backend)."""
+        return self.stats.extra.get("timed_instructions",
+                                    self.stats.instructions)
+
+
+def _verify_result(kernel: str, got: np.ndarray, a: NMSparseMatrix,
+                   b: np.ndarray) -> None:
+    """Check a simulated C against the float64 numpy reference.
+
+    A mismatch raises — a wrong result must never be reported as a
+    timing win.
+    """
+    ref = a.to_dense().astype(np.float64) @ b.astype(np.float64)
+    if not np.allclose(got, ref, rtol=1e-3, atol=1e-3):
+        worst = float(np.abs(got - ref).max())
+        raise SimulationError(
+            f"kernel {kernel!r} produced a wrong result "
+            f"(max abs error {worst:.3e})")
+
 
 def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
              options: KernelOptions | None = None,
              config: ProcessorConfig | None = None,
-             verify: bool = True) -> KernelRun:
+             verify: bool = True,
+             backend: str | None = None) -> KernelRun:
     """Stage ``C = A x B``, run ``kernel``, and optionally verify C.
 
-    Verification compares the simulated C against a float64 numpy
-    reference; a mismatch raises — a wrong result must never be
-    reported as a timing win.
+    ``backend`` selects the timing model (``None`` resolves via
+    ``$REPRO_BACKEND``, default ``detailed``); functional results are
+    bit-exact under every backend, so verification is identical.
     """
+    backend = resolve_backend(backend)
     proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
     staged = stage_spmm(proc.mem, a, b)
-    builder = get_kernel(kernel)
-    proc.run(builder(staged, options or KernelOptions()))
+    trace = get_trace_kernel(kernel)(staged, options or KernelOptions())
+    result = get_backend(backend).run(proc, trace)
     verified = False
     if verify:
-        got = read_result(proc.mem, staged)
-        ref = a.to_dense().astype(np.float64) @ b.astype(np.float64)
-        if not np.allclose(got, ref, rtol=1e-3, atol=1e-3):
-            worst = float(np.abs(got - ref).max())
-            raise SimulationError(
-                f"kernel {kernel!r} produced a wrong result "
-                f"(max abs error {worst:.3e})")
+        _verify_result(kernel, read_result(proc.mem, staged), a, b)
         verified = True
-    return KernelRun(kernel=kernel, stats=proc.stats(), verified=verified)
+    return KernelRun(kernel=kernel, stats=result.stats, verified=verified,
+                     backend=backend)
 
 
 #: Pseudo-kernel name for the unstructured CSR baseline (A4); it has
@@ -64,7 +85,8 @@ CSR_KERNEL = "csr-spmm"
 
 def run_csr(a: NMSparseMatrix, b: np.ndarray,
             config: ProcessorConfig | None = None,
-            verify: bool = True) -> KernelRun:
+            verify: bool = True,
+            backend: str | None = None) -> KernelRun:
     """Run the unstructured-CSR kernel on the same operands.
 
     The N:M matrix is re-encoded as plain CSR (identical values and
@@ -72,34 +94,30 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
     format's own kernel — the A4 ablation's equal-density baseline.
     """
     from repro.kernels.spmm_csr import (
-        build_csr_spmm,
         read_csr_result,
         stage_csr,
+        trace_csr_spmm,
     )
     from repro.sparse.csr import CSRMatrix
 
+    backend = resolve_backend(backend)
     proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
     csr = CSRMatrix.from_dense(a.to_dense())
     staged = stage_csr(proc.mem, csr, b)
-    proc.run(build_csr_spmm(staged))
+    result = get_backend(backend).run(proc, trace_csr_spmm(staged))
     verified = False
     if verify:
-        got = read_csr_result(proc.mem, staged)
-        ref = a.to_dense().astype(np.float64) @ b.astype(np.float64)
-        if not np.allclose(got, ref, rtol=1e-3, atol=1e-3):
-            worst = float(np.abs(got - ref).max())
-            raise SimulationError(
-                f"kernel {CSR_KERNEL!r} produced a wrong result "
-                f"(max abs error {worst:.3e})")
+        _verify_result(CSR_KERNEL, read_csr_result(proc.mem, staged), a, b)
         verified = True
-    return KernelRun(kernel=CSR_KERNEL, stats=proc.stats(),
-                     verified=verified)
+    return KernelRun(kernel=CSR_KERNEL, stats=result.stats,
+                     verified=verified, backend=backend)
 
 
 def run_layer(workload: LayerWorkload, kernel: str,
               options: KernelOptions | None = None,
               config: ProcessorConfig | None = None,
-              verify: bool = True) -> KernelRun:
+              verify: bool = True,
+              backend: str | None = None) -> KernelRun:
     """Run one CNN layer workload through ``kernel``."""
     return run_spmm(workload.a, workload.b, kernel, options=options,
-                    config=config, verify=verify)
+                    config=config, verify=verify, backend=backend)

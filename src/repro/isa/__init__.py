@@ -22,6 +22,7 @@ from repro.isa.instructions import (
     Op,
 )
 from repro.isa.program import Program
+from repro.isa.trace import Block, Loop, Trace, TraceBuilder
 from repro.isa.registers import (
     f_name,
     f_reg,
@@ -34,10 +35,14 @@ from repro.isa.registers import (
 
 __all__ = [
     "BRANCH_OPS",
+    "Block",
     "I",
     "Instr",
+    "Loop",
     "Op",
     "Program",
+    "Trace",
+    "TraceBuilder",
     "SCALAR_LOAD_OPS",
     "SCALAR_STORE_OPS",
     "VECTOR_DEST_OPS",

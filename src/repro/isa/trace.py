@@ -1,0 +1,206 @@
+"""Trace IR: dynamic instruction streams with loop-structure annotations.
+
+The kernel builders are Python loops that emit the exact dynamic
+instruction stream a compiled binary would execute.  Historically they
+yielded flat streams, so every timing model had to pay O(dynamic
+instructions).  The Trace IR keeps the *structure* of those loops:
+
+* a :class:`Block` is a straight-line run of instructions;
+* a :class:`Loop` is a body (blocks and nested loops) executed
+  ``repeat`` times.  A loop marked ``steady`` guarantees that every
+  iteration executes the *identical* instruction sequence (the kernels
+  arrange this by bumping pointers held in registers instead of
+  re-materialising addresses), which is what lets the
+  ``compressed-replay`` timing backend time a couple of representative
+  iterations and extrapolate the rest;
+* a :class:`Trace` is the top-level sequence.
+
+``Trace.instructions()`` lazily expands the structure back into the
+exact flat stream, so every existing consumer (the detailed processor,
+stream-counting validators, tests) keeps working; a raw generator with
+no structure is wrapped by :meth:`Trace.from_stream` into one
+single-iteration block.
+
+Builders use :class:`TraceBuilder`::
+
+    tb = TraceBuilder()
+    tb.emit(bld.set_vl(vlmax))           # accepts instrs or iterables
+    with tb.loop(num_iterations):        # steady by default
+        tb.emit(inner_body())
+    trace = tb.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import KernelError
+from repro.isa.instructions import Instr
+
+
+class Block:
+    """A straight-line run of instructions (no internal structure)."""
+
+    __slots__ = ("instrs",)
+
+    def __init__(self, instrs):
+        self.instrs = list(instrs)
+
+    @property
+    def dynamic_length(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.instrs)} instrs)"
+
+
+class Loop:
+    """``repeat`` executions of a body of blocks and nested loops.
+
+    ``steady`` asserts that every iteration runs the identical
+    instruction sequence (same opcodes, registers and immediates), so a
+    timing model may measure one iteration and extrapolate.  Loops whose
+    bodies differ between iterations must be emitted unrolled (or with
+    ``steady=False``).
+    """
+
+    __slots__ = ("body", "repeat", "steady", "label", "_has_memory",
+                 "_sig")
+
+    def __init__(self, body, repeat: int, steady: bool = True,
+                 label: str = ""):
+        if repeat < 0:
+            raise KernelError(f"loop repeat must be >= 0, not {repeat}")
+        self.body = tuple(body)
+        self.repeat = repeat
+        self.steady = steady
+        self.label = label
+
+    @property
+    def body_length(self) -> int:
+        """Dynamic instructions of ONE iteration of the body."""
+        return sum(node.dynamic_length for node in self.body)
+
+    @property
+    def dynamic_length(self) -> int:
+        return self.repeat * self.body_length
+
+    @property
+    def has_memory(self) -> bool:
+        """True if any instruction in the body touches memory (an
+        introspection helper for timing models and analyses; cached)."""
+        try:
+            return self._has_memory
+        except AttributeError:
+            pass
+        result = False
+        for node in self.body:
+            if type(node) is Block:
+                if any(i.is_vector_mem or i.is_scalar_mem
+                       for i in node.instrs):
+                    result = True
+                    break
+            elif node.has_memory:
+                result = True
+                break
+        self._has_memory = result
+        return result
+
+    def __repr__(self) -> str:
+        tag = "steady" if self.steady else "irregular"
+        name = f" {self.label!r}" if self.label else ""
+        return (f"Loop({tag}{name}, x{self.repeat}, "
+                f"{self.body_length} instrs/iter)")
+
+
+def _walk(nodes):
+    for node in nodes:
+        if type(node) is Block:
+            yield from node.instrs
+        else:
+            body = node.body
+            for _ in range(node.repeat):
+                yield from _walk(body)
+
+
+class Trace:
+    """A structured dynamic instruction stream."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes=()):
+        self.nodes = tuple(nodes)
+
+    def instructions(self):
+        """Lazily expand the exact flat dynamic stream."""
+        return _walk(self.nodes)
+
+    def __iter__(self):
+        return self.instructions()
+
+    @property
+    def dynamic_length(self) -> int:
+        """Total dynamic instruction count after expansion."""
+        return sum(node.dynamic_length for node in self.nodes)
+
+    def steady_fraction(self) -> float:
+        """Share of dynamic instructions inside steady loops (top level
+        of nesting counts the whole loop)."""
+        total = self.dynamic_length
+        if not total:
+            return 0.0
+        steady = sum(node.dynamic_length for node in self.nodes
+                     if type(node) is Loop and node.steady)
+        return steady / total
+
+    @classmethod
+    def from_stream(cls, stream) -> "Trace":
+        """Wrap a raw (unannotated) stream as one straight-line block."""
+        return cls((Block(stream),))
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.nodes)} nodes, {self.dynamic_length} instrs)"
+
+
+class TraceBuilder:
+    """Incremental construction of a :class:`Trace` from kernel loops."""
+
+    def __init__(self):
+        self._stack: list[list] = [[]]
+        self._run: list[Instr] = []
+
+    def emit(self, *items) -> None:
+        """Append instructions: each item is an ``Instr`` or an iterable
+        of them (e.g. the generator helpers in ``kernels.builder``)."""
+        run = self._run
+        for item in items:
+            if isinstance(item, Instr):
+                run.append(item)
+            else:
+                run.extend(item)
+
+    def _flush(self) -> None:
+        if self._run:
+            self._stack[-1].append(Block(self._run))
+            self._run = []
+
+    @contextmanager
+    def loop(self, repeat: int, steady: bool = True, label: str = ""):
+        """Everything emitted inside the ``with`` is ONE iteration of a
+        loop executed ``repeat`` times.  ``repeat=0`` discards the body.
+        """
+        self._flush()
+        self._stack.append([])
+        try:
+            yield self
+        finally:
+            self._flush()
+            body = self._stack.pop()
+            if repeat > 0 and body:
+                self._stack[-1].append(Loop(body, repeat, steady, label))
+
+    def build(self) -> Trace:
+        self._flush()
+        if len(self._stack) != 1:
+            raise KernelError("unbalanced TraceBuilder.loop() nesting")
+        return Trace(self._stack[0])

@@ -6,7 +6,7 @@ from repro.kernels.asm_kernels import (
 )
 from repro.kernels.builder import KernelOptions
 from repro.kernels.dataflow import Dataflow, max_tile_rows, validate_tile_rows
-from repro.kernels.dense_rowwise import build_dense_rowwise
+from repro.kernels.dense_rowwise import build_dense_rowwise, trace_dense_rowwise
 from repro.kernels.layout import (
     StagedDense,
     StagedSpMM,
@@ -15,15 +15,22 @@ from repro.kernels.layout import (
     stage_dense,
     stage_spmm,
 )
-from repro.kernels.registry import DISPLAY_NAMES, KERNELS, get_kernel
+from repro.kernels.registry import (
+    DISPLAY_NAMES,
+    KERNELS,
+    TRACE_KERNELS,
+    get_kernel,
+    get_trace_kernel,
+)
 from repro.kernels.spmm_csr import (
     StagedCSR,
     build_csr_spmm,
     read_csr_result,
     stage_csr,
+    trace_csr_spmm,
 )
-from repro.kernels.spmm_indexmac import build_indexmac_spmm
-from repro.kernels.spmm_rowwise import build_rowwise_spmm
+from repro.kernels.spmm_indexmac import build_indexmac_spmm, trace_indexmac_spmm
+from repro.kernels.spmm_rowwise import build_rowwise_spmm, trace_rowwise_spmm
 
 __all__ = [
     "DISPLAY_NAMES",
@@ -37,7 +44,13 @@ __all__ = [
     "build_dense_rowwise",
     "build_indexmac_spmm",
     "build_rowwise_spmm",
+    "TRACE_KERNELS",
     "get_kernel",
+    "get_trace_kernel",
+    "trace_csr_spmm",
+    "trace_dense_rowwise",
+    "trace_indexmac_spmm",
+    "trace_rowwise_spmm",
     "indexmac_spmm_assembly",
     "max_tile_rows",
     "read_csr_result",

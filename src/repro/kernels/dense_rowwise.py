@@ -14,20 +14,27 @@ order), so one ``vle32`` serves the whole unroll group.
 from __future__ import annotations
 
 from repro.isa.instructions import I
+from repro.isa.trace import Trace, TraceBuilder
 from repro.kernels import builder as bld
 from repro.kernels.builder import KernelOptions
 from repro.kernels.layout import StagedDense
 
 
-def build_dense_rowwise(staged: StagedDense,
+def trace_dense_rowwise(staged: StagedDense,
                         options: KernelOptions | None = None,
-                        vlmax: int = 16):
-    """Generate the dynamic instruction stream of Algorithm 1."""
+                        vlmax: int = 16) -> Trace:
+    """Build the loop-annotated trace of Algorithm 1.
+
+    The per-element inner loop (one B-row load shared by the unroll
+    group, one MAC and one slide per output row) is a steady loop of
+    ``vlmax`` identical iterations.
+    """
     opt = options or KernelOptions()
     k_tiles = staged.k // vlmax
     col_tiles = staged.n_cols // vlmax
 
-    yield from bld.set_vl(vlmax)
+    tb = TraceBuilder()
+    tb.emit(bld.set_vl(vlmax))
     for jt in range(col_tiles):
         col_off = jt * 4 * vlmax
         for kt in range(k_tiles):
@@ -35,35 +42,43 @@ def build_dense_rowwise(staged: StagedDense,
             a_off = kt * 4 * vlmax
             for start, size in bld.row_groups(staged.rows, opt.unroll):
                 for r in range(size):
-                    yield from bld.li_addr(
+                    tb.emit(bld.li_addr(
                         bld.VAL_PTR[r],
                         staged.a_addr
-                        + (start + r) * staged.a_row_stride + a_off)
-                    yield I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r])
+                        + (start + r) * staged.a_row_stride + a_off))
+                    tb.emit(I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r]))
                 for r in range(size):
-                    yield from bld.li_addr(
+                    tb.emit(bld.li_addr(
                         bld.C_PTR[r],
                         staged.c_addr
-                        + (start + r) * staged.c_row_stride + col_off)
+                        + (start + r) * staged.c_row_stride + col_off))
                     if first_k:
-                        yield I.vmv_v_i(bld.V_ACC[r], 0)
+                        tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))
                     else:
-                        yield I.vle32(bld.V_ACC[r], bld.C_PTR[r])
-                yield from bld.li_addr(
+                        tb.emit(I.vle32(bld.V_ACC[r], bld.C_PTR[r]))
+                tb.emit(bld.li_addr(
                     bld.B_PTR,
                     staged.b_addr + kt * vlmax * staged.b_row_stride
-                    + col_off)
-                yield from bld.li(bld.B_STRIDE, staged.b_row_stride)
-                for _ in range(vlmax):
-                    yield I.vle32(bld.V_BROW[0], bld.B_PTR)
-                    yield I.add(bld.B_PTR, bld.B_PTR, bld.B_STRIDE)
+                    + col_off))
+                tb.emit(bld.li(bld.B_STRIDE, staged.b_row_stride))
+                with tb.loop(vlmax, label="b-rows"):
+                    tb.emit(I.vle32(bld.V_BROW[0], bld.B_PTR),
+                            I.add(bld.B_PTR, bld.B_PTR, bld.B_STRIDE))
                     for r in range(size):
-                        yield I.vfmv_f_s(bld.FA[r], bld.V_VALUES[r])
+                        tb.emit(I.vfmv_f_s(bld.FA[r], bld.V_VALUES[r]))
                     for r in range(size):
-                        yield I.vfmacc_vf(bld.V_ACC[r], bld.FA[r],
-                                          bld.V_BROW[0])
+                        tb.emit(I.vfmacc_vf(bld.V_ACC[r], bld.FA[r],
+                                            bld.V_BROW[0]))
                     for r in range(size):
-                        yield I.vslide1down_vx(bld.V_VALUES[r],
-                                               bld.V_VALUES[r], 0)
+                        tb.emit(I.vslide1down_vx(bld.V_VALUES[r],
+                                                 bld.V_VALUES[r], 0))
                 for r in range(size):
-                    yield I.vse32(bld.V_ACC[r], bld.C_PTR[r])
+                    tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))
+    return tb.build()
+
+
+def build_dense_rowwise(staged: StagedDense,
+                        options: KernelOptions | None = None,
+                        vlmax: int = 16):
+    """Generate the dynamic instruction stream of Algorithm 1."""
+    yield from trace_dense_rowwise(staged, options, vlmax).instructions()

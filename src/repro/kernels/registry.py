@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
+from repro.isa.trace import Trace
 from repro.errors import KernelError
-from repro.kernels.spmm_indexmac import build_indexmac_spmm
-from repro.kernels.spmm_rowwise import build_rowwise_spmm
+from repro.kernels.spmm_indexmac import build_indexmac_spmm, trace_indexmac_spmm
+from repro.kernels.spmm_rowwise import build_rowwise_spmm, trace_rowwise_spmm
 
 #: The two designs under comparison in Section IV-A.
 KERNELS = {
     "rowwise-spmm": build_rowwise_spmm,   # 'Row-Wise-SpMM' (Algorithm 2)
     "indexmac-spmm": build_indexmac_spmm,  # 'Proposed'      (Algorithm 3)
+}
+
+#: Loop-annotated trace builders (same names, same streams — with the
+#: structure the compressed-replay timing backend exploits).
+TRACE_KERNELS = {
+    "rowwise-spmm": trace_rowwise_spmm,
+    "indexmac-spmm": trace_indexmac_spmm,
 }
 
 #: Paper names for reports.
@@ -26,3 +34,20 @@ def get_kernel(name: str):
     except KeyError:
         known = ", ".join(sorted(KERNELS))
         raise KernelError(f"unknown kernel {name!r} (known: {known})") from None
+
+
+def get_trace_kernel(name: str):
+    """Trace-building variant of :func:`get_kernel`.
+
+    Kernels registered without a trace builder fall back to a wrapper
+    that drains the flat stream into one unannotated segment, so every
+    timing backend can consume any kernel.
+    """
+    builder = TRACE_KERNELS.get(name)
+    if builder is not None:
+        return builder
+    stream_builder = get_kernel(name)
+
+    def wrapped(staged, options=None, **kwargs) -> Trace:
+        return Trace.from_stream(stream_builder(staged, options, **kwargs))
+    return wrapped

@@ -19,6 +19,7 @@ import numpy as np
 from repro.arch.memory import FlatMemory
 from repro.errors import KernelError
 from repro.isa.instructions import I
+from repro.isa.trace import Trace, TraceBuilder
 from repro.kernels import builder as bld
 from repro.sparse.csr import CSRMatrix
 
@@ -66,38 +67,48 @@ def stage_csr(mem: FlatMemory, a: CSRMatrix, b: np.ndarray) -> StagedCSR:
     )
 
 
-def build_csr_spmm(staged: StagedCSR, vlmax: int = 16):
-    """Generate the dynamic instruction stream of the CSR kernel.
+def trace_csr_spmm(staged: StagedCSR, vlmax: int = 16) -> Trace:
+    """Build the loop-annotated trace of the CSR kernel.
 
     C-stationary over column tiles (the natural choice for CSR: each
     output row tile is produced in one pass over the row's non-zeros).
+    The per-non-zero loop advances its pointers in registers, so it is
+    a steady loop of ``nnz`` identical iterations per (row, tile).
     """
     col_tiles = staged.n_cols // vlmax
-    yield from bld.set_vl(vlmax)
+    tb = TraceBuilder()
+    tb.emit(bld.set_vl(vlmax))
     for i in range(staged.rows):
         lo, hi = staged.indptr[i], staged.indptr[i + 1]
         nnz = hi - lo
         for jt in range(col_tiles):
             col_off = jt * 4 * vlmax
             # b_base for this column tile and the B row stride
-            yield from bld.li_addr(bld.XFORM, staged.b_addr + col_off)
-            yield from bld.li(bld.B_STRIDE, staged.b_row_stride)
-            yield from bld.li_addr(bld.VAL_PTR[0], staged.data_addr + 4 * lo)
-            yield from bld.li_addr(bld.IDX_PTR[0], staged.indices_addr + 4 * lo)
-            yield I.vmv_v_i(bld.V_ACC[0], 0)
-            for _ in range(nnz):
-                yield I.flw(bld.FA[0], bld.VAL_PTR[0], 0)
-                yield I.lw(bld.T[0], bld.IDX_PTR[0], 0)
-                yield I.mul(bld.T[0], bld.T[0], bld.B_STRIDE)
-                yield I.add(bld.T[0], bld.T[0], bld.XFORM)
-                yield I.vle32(bld.V_BROW[0], bld.T[0])
-                yield I.vfmacc_vf(bld.V_ACC[0], bld.FA[0], bld.V_BROW[0])
-                yield I.addi(bld.VAL_PTR[0], bld.VAL_PTR[0], 4)
-                yield I.addi(bld.IDX_PTR[0], bld.IDX_PTR[0], 4)
-            yield from bld.li_addr(
+            tb.emit(bld.li_addr(bld.XFORM, staged.b_addr + col_off))
+            tb.emit(bld.li(bld.B_STRIDE, staged.b_row_stride))
+            tb.emit(bld.li_addr(bld.VAL_PTR[0], staged.data_addr + 4 * lo))
+            tb.emit(bld.li_addr(bld.IDX_PTR[0],
+                                staged.indices_addr + 4 * lo))
+            tb.emit(I.vmv_v_i(bld.V_ACC[0], 0))
+            with tb.loop(nnz, label="nnz"):
+                tb.emit(I.flw(bld.FA[0], bld.VAL_PTR[0], 0),
+                        I.lw(bld.T[0], bld.IDX_PTR[0], 0),
+                        I.mul(bld.T[0], bld.T[0], bld.B_STRIDE),
+                        I.add(bld.T[0], bld.T[0], bld.XFORM),
+                        I.vle32(bld.V_BROW[0], bld.T[0]),
+                        I.vfmacc_vf(bld.V_ACC[0], bld.FA[0], bld.V_BROW[0]),
+                        I.addi(bld.VAL_PTR[0], bld.VAL_PTR[0], 4),
+                        I.addi(bld.IDX_PTR[0], bld.IDX_PTR[0], 4))
+            tb.emit(bld.li_addr(
                 bld.C_PTR[0], staged.c_addr + i * staged.c_row_stride
-                + col_off)
-            yield I.vse32(bld.V_ACC[0], bld.C_PTR[0])
+                + col_off))
+            tb.emit(I.vse32(bld.V_ACC[0], bld.C_PTR[0]))
+    return tb.build()
+
+
+def build_csr_spmm(staged: StagedCSR, vlmax: int = 16):
+    """Generate the dynamic instruction stream of the CSR kernel."""
+    yield from trace_csr_spmm(staged, vlmax).instructions()
 
 
 def read_csr_result(mem: FlatMemory, staged: StagedCSR) -> np.ndarray:

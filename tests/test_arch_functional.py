@@ -1,0 +1,143 @@
+"""Tests for the standalone functional core (bit-exact, no timing)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DecoupledProcessor, FunctionalCore, ProcessorConfig
+from repro.errors import SimulationError
+from repro.isa import I, Op, assemble
+
+
+def make_core():
+    return FunctionalCore(ProcessorConfig.paper_default())
+
+
+# ----------------------------------------------------------------------
+# scalar semantics
+# ----------------------------------------------------------------------
+def test_alu_and_immediates():
+    core = make_core()
+    core.run([I.li("a0", 7), I.li("a1", 5), I.add("a2", "a0", "a1"),
+              I.sub("a3", "a0", "a1"), I.slli("a4", "a0", 2)])
+    xv = core.xrf.values
+    assert xv[12] == 12 and xv[13] == 2 and xv[14] == 28
+
+
+def test_x0_is_hardwired_zero():
+    core = make_core()
+    core.execute(I.addi("zero", "zero", 5))
+    assert core.xrf.values[0] == 0
+
+
+def test_memory_roundtrip():
+    core = make_core()
+    addr = core.mem.allocate(64)
+    core.run([I.li("a0", addr), I.li("a1", -123), I.sw("a1", "a0", 0),
+              I.lw("a2", "a0", 0)])
+    assert core.xrf.values[12] == -123
+
+
+def test_branch_outcomes():
+    core = make_core()
+    core.run([I.li("a0", 1), I.li("a1", 2)])
+    assert core.execute(I.bne("a0", "a1", 16)) == 16
+    assert core.execute(I.beq("a0", "a1", 16)) is None
+    assert core.execute(I.blt("a0", "a1", -8)) == -8
+
+
+def test_jal_jalr_outcomes():
+    core = make_core()
+    core.execute(I.li("a0", 0x104))
+    assert core.execute(I.jal("ra", 64)) == ("jump", 64)
+    kind, target = core.execute(I.jalr("zero", "a0", 1))
+    assert kind == "jump_abs" and target == 0x104  # low bit cleared
+
+
+def test_vsetvli_updates_vl_and_rejects_zero():
+    core = make_core()
+    vlmax = core.config.vector.vlmax
+    from repro.isa.encoding import vtype_e32m1
+    core.execute(I.li("a0", 5))
+    core.execute(I.vsetvli("a1", "a0", vtype_e32m1()))
+    assert core.vl == 5 and core.xrf.values[11] == 5
+    core.execute(I.li("a0", 10 ** 9))
+    core.execute(I.vsetvli("a1", "a0", vtype_e32m1()))
+    assert core.vl == vlmax
+    core.execute(I.li("a0", 0))
+    with pytest.raises(SimulationError):
+        core.execute(I.vsetvli("a1", "a0", vtype_e32m1()))
+
+
+# ----------------------------------------------------------------------
+# vector semantics
+# ----------------------------------------------------------------------
+def test_vindexmac_semantics():
+    core = make_core()
+    vl = core.vl
+    core.vrf.set_f32(3, np.full(vl, 2.0, dtype=np.float32))
+    values = np.zeros(vl, dtype=np.float32)
+    values[0] = 10.0
+    core.vrf.set_f32(1, values)
+    core.vrf.set_f32(8, np.ones(vl, dtype=np.float32))
+    core.execute(I.li("t0", 3))
+    core.execute(I.vindexmac_vx(8, 1, "t0"))
+    np.testing.assert_array_equal(
+        core.vrf.f32[8], np.full(vl, 1.0 + 10.0 * 2.0, dtype=np.float32))
+
+
+def test_vector_load_store_roundtrip():
+    core = make_core()
+    vl = core.vl
+    addr = core.mem.allocate(4 * vl)
+    data = np.arange(vl, dtype=np.int32)
+    core.mem.write_array(addr, data)
+    core.execute(I.li("a0", addr))
+    core.execute(I.vle32(2, "a0"))
+    np.testing.assert_array_equal(core.vrf.i32[2, :vl], data)
+    dst = core.mem.allocate(4 * vl)
+    core.execute(I.li("a1", dst))
+    core.execute(I.vse32(2, "a1"))
+    np.testing.assert_array_equal(
+        core.mem.read_array(dst, np.int32, (vl,)), data)
+
+
+def test_every_processor_op_has_a_functional_handler():
+    core = make_core()
+    proc = DecoupledProcessor(ProcessorConfig.paper_default())
+    assert set(core.handlers) == set(proc._handlers)
+    assert set(core.handlers) == set(Op)
+
+
+# ----------------------------------------------------------------------
+# equivalence with the timing processor
+# ----------------------------------------------------------------------
+def test_core_matches_processor_functional_state():
+    """Running the same program through the bare core and through the
+    full processor must produce identical architectural state."""
+    program = assemble("""
+        li a0, 100
+        li a1, 3
+        mul a2, a0, a1
+        slli a3, a2, 4
+        xor a4, a3, a0
+        vmv.v.x v1, a0
+        vadd.vi v2, v1, 7
+        vmv.x.s a5, v2
+    """)
+    core = make_core()
+    proc = DecoupledProcessor(ProcessorConfig.paper_default())
+    for instr in program.instrs:
+        core.execute(instr)
+        proc.step(instr)
+    assert core.xrf.values == proc.core.xrf.values
+    np.testing.assert_array_equal(core.vrf.raw, proc.vrf.raw)
+    assert proc.cycles > 0  # the processor also accumulated timing
+
+
+def test_processor_shares_state_with_its_core():
+    proc = DecoupledProcessor(ProcessorConfig.paper_default())
+    assert proc.xrf is proc.core.xrf
+    assert proc.vrf is proc.core.vrf
+    assert proc.mem is proc.core.mem
+    proc.step(I.li("a0", 42))
+    assert proc.core.xrf.values[10] == 42

@@ -114,3 +114,97 @@ def test_start_label():
     iss.run(program, start_label="entry")
     assert iss.proc.xrf.values[10] == 0  # skipped
     assert iss.proc.xrf.values[11] == 2
+
+
+# ----------------------------------------------------------------------
+# control-flow corner cases
+# ----------------------------------------------------------------------
+def test_jal_link_register_holds_return_address():
+    """The processor is PC-agnostic; the ISS patches the true pc+4."""
+    iss = make_iss()
+    program = assemble("""
+        nop
+        jal ra, target
+        nop
+    target:
+        nop
+    """)
+    iss.run(program)
+    # jal is instruction index 1, so ra = base + 4 * 2
+    assert iss.proc.xrf.values[1] == program.base + 8
+
+
+def test_jalr_link_register_holds_return_address():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 100
+        jalr ra, a0, 0
+    """)
+    base = program.base
+    # make a0 point back into the program so the jump stays in range
+    program.instrs[0] = assemble(f"li a0, {base + 8}").instrs[0]
+    iss.run(program)
+    assert iss.proc.xrf.values[1] == base + 8  # pc of jalr + 4
+
+
+def test_jal_with_zero_rd_does_not_write_link():
+    iss = make_iss()
+    program = assemble("""
+        jal zero, end
+        li a0, 111
+    end:
+        nop
+    """)
+    iss.run(program)
+    assert iss.proc.xrf.values[0] == 0
+    assert iss.proc.xrf.values[10] == 0  # skipped by the jump
+
+
+def test_misaligned_branch_target_raises():
+    from repro.isa.instructions import I
+    from repro.isa.program import Program
+
+    # a taken branch with a byte offset that is not a multiple of 4
+    program = Program(instrs=[
+        I.li("a0", 1),
+        I.bne("a0", "zero", 6),
+        I.nop(),
+    ])
+    iss = make_iss()
+    with pytest.raises(SimulationError, match="misaligned branch"):
+        iss.run(program)
+
+
+def test_misaligned_jalr_target_raises():
+    iss = make_iss()
+    program = assemble("""
+        li a0, 2
+        jalr zero, a0, 0
+    """)
+    with pytest.raises(SimulationError, match="misaligned jalr"):
+        iss.run(program)
+
+
+def test_instruction_budget_boundary():
+    """A program that retires exactly ``max_instructions`` finishes; one
+    more instruction raises."""
+    iss = make_iss()
+    program = assemble("""
+        li a0, 3
+    loop:
+        addi a0, a0, -1
+        bne a0, zero, loop
+    """)
+    # 1 + 3 * 2 = 7 dynamic instructions in total
+    stats = iss.run(program, max_instructions=7)
+    assert stats.instructions == 7
+
+    with pytest.raises(SimulationError, match="instruction budget"):
+        make_iss().run(program, max_instructions=6)
+
+
+def test_budget_error_is_not_raised_for_straightline_code():
+    iss = make_iss()
+    program = assemble("nop\nnop\nnop")
+    stats = iss.run(program, max_instructions=3)
+    assert stats.instructions == 3

@@ -1,0 +1,166 @@
+"""Tests for the loop-annotated Trace IR."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory import FlatMemory
+from repro.errors import KernelError
+from repro.isa import I
+from repro.isa.trace import Block, Loop, Trace, TraceBuilder
+from repro.kernels import (
+    KernelOptions,
+    build_csr_spmm,
+    build_dense_rowwise,
+    build_indexmac_spmm,
+    build_rowwise_spmm,
+    get_trace_kernel,
+    stage_csr,
+    stage_dense,
+    stage_spmm,
+    trace_csr_spmm,
+    trace_dense_rowwise,
+    trace_indexmac_spmm,
+    trace_rowwise_spmm,
+)
+from repro.kernels.dataflow import Dataflow
+from repro.nn.workload import make_workload
+from repro.sparse.csr import CSRMatrix
+
+
+# ----------------------------------------------------------------------
+# Trace primitives
+# ----------------------------------------------------------------------
+def test_block_and_loop_lengths():
+    body = [I.addi("a0", "a0", 1), I.addi("a1", "a1", 1)]
+    loop = Loop([Block(body)], repeat=5)
+    assert loop.body_length == 2
+    assert loop.dynamic_length == 10
+    trace = Trace([Block([I.li("a0", 0)]), loop])
+    assert trace.dynamic_length == 11
+    assert len(list(trace.instructions())) == 11
+
+
+def test_nested_loop_expansion_order():
+    tb = TraceBuilder()
+    tb.emit(I.li("a0", 0))
+    with tb.loop(2):
+        tb.emit(I.addi("a0", "a0", 1))
+        with tb.loop(3):
+            tb.emit(I.addi("a1", "a1", 1))
+    trace = tb.build()
+    assert trace.dynamic_length == 1 + 2 * (1 + 3)
+    ops = [i.rd for i in trace.instructions()]
+    # a0=10, then per outer iter: one a0 bump + three a1 bumps
+    assert ops == [10, 10, 11, 11, 11, 10, 11, 11, 11]
+
+
+def test_zero_repeat_loop_is_discarded():
+    tb = TraceBuilder()
+    with tb.loop(0):
+        tb.emit(I.addi("a0", "a0", 1))
+    assert tb.build().dynamic_length == 0
+
+
+def test_negative_repeat_rejected():
+    with pytest.raises(KernelError):
+        Loop([Block([I.nop()])], repeat=-1)
+
+
+def test_from_stream_wraps_single_block():
+    trace = Trace.from_stream(iter([I.nop(), I.nop()]))
+    assert len(trace.nodes) == 1
+    assert type(trace.nodes[0]) is Block
+    assert trace.dynamic_length == 2
+
+
+def test_has_memory_detection():
+    compute = Loop([Block([I.vadd_vv(1, 2, 3)])], repeat=4)
+    assert not compute.has_memory
+    mem = Loop([Block([I.vle32(1, "a0")])], repeat=4)
+    assert mem.has_memory
+    nested = Loop([Block([I.addi("a0", "a0", 1)]), mem], repeat=2)
+    assert nested.has_memory
+
+
+def test_unbalanced_builder_rejected():
+    tb = TraceBuilder()
+    cm = tb.loop(2)
+    cm.__enter__()
+    tb.emit(I.nop())
+    with pytest.raises(KernelError):
+        tb.build()
+
+
+# ----------------------------------------------------------------------
+# Kernel traces expand to the exact legacy streams
+# ----------------------------------------------------------------------
+def _staged(rows=16, k=64, n=32, nm=(1, 4), seed=3):
+    rng = np.random.default_rng(seed)
+    a, b = make_workload(rows, k, n, *nm, rng)
+    mem = FlatMemory(1 << 24)
+    return stage_spmm(mem, a, b), a, b
+
+
+@pytest.mark.parametrize("trace_fn,stream_fn", [
+    (trace_indexmac_spmm, build_indexmac_spmm),
+    (trace_rowwise_spmm, build_rowwise_spmm),
+])
+def test_spmm_trace_matches_stream(trace_fn, stream_fn):
+    staged, _, _ = _staged()
+    opt = KernelOptions()
+    expanded = list(trace_fn(staged, opt).instructions())
+    stream = list(stream_fn(staged, opt))
+    assert expanded == stream
+
+
+@pytest.mark.parametrize("dataflow", list(Dataflow))
+def test_rowwise_trace_matches_stream_all_dataflows(dataflow):
+    staged, _, _ = _staged(rows=9, k=32, n=16, nm=(2, 4))
+    opt = KernelOptions(dataflow=dataflow)
+    assert list(trace_rowwise_spmm(staged, opt).instructions()) == \
+        list(build_rowwise_spmm(staged, opt))
+
+
+def test_csr_trace_matches_stream():
+    _, a, b = _staged()
+    csr = CSRMatrix.from_dense(a.to_dense())
+    mem = FlatMemory(1 << 24)
+    staged = stage_csr(mem, csr, b)
+    assert list(trace_csr_spmm(staged).instructions()) == \
+        list(build_csr_spmm(staged))
+
+
+def test_dense_trace_matches_stream():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((8, 32)).astype(np.float32)
+    b = rng.standard_normal((32, 32)).astype(np.float32)
+    mem = FlatMemory(1 << 24)
+    staged = stage_dense(mem, a, b)
+    assert list(trace_dense_rowwise(staged).instructions()) == \
+        list(build_dense_rowwise(staged))
+
+
+def test_kernel_traces_have_steady_loops():
+    staged, _, _ = _staged(rows=64)
+    trace = trace_indexmac_spmm(staged, KernelOptions())
+    loops = [n for n in trace.nodes if type(n) is Loop]
+    assert loops, "expected annotated row loops at the top level"
+    assert all(loop.steady for loop in loops)
+    assert trace.steady_fraction() > 0.5
+
+
+def test_get_trace_kernel_falls_back_to_stream_wrapper():
+    from repro.kernels.registry import KERNELS, get_kernel
+
+    def toy_builder(staged, options=None):
+        yield I.nop()
+        yield I.nop()
+
+    KERNELS["toy"] = toy_builder
+    try:
+        trace = get_trace_kernel("toy")(None)
+        assert isinstance(trace, Trace)
+        assert trace.dynamic_length == 2
+        assert get_kernel("toy") is toy_builder
+    finally:
+        del KERNELS["toy"]
