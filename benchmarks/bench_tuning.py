@@ -1,0 +1,52 @@
+"""Schedule autotuning sweep (extension beyond the paper).
+
+Sweeps the (tile_rows, unroll, dataflow) schedule space of both SpMM
+kernels on the representative ResNet50 layer through the cached
+experiment engine, and checks the paper's hand-picked point (L=16,
+unroll x4, B-stationary) is never beaten by more than noise — i.e. the
+reproduction's design-space story matches Section IV-A.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import (  # noqa: E402
+    config_from_env,
+    policy_from_env,
+    publish,
+    setup_engine,
+)
+
+from repro.eval import BASELINE, PROPOSED, tune
+
+
+def bench_tune_proposed(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+    engine = setup_engine()
+
+    result = benchmark.pedantic(
+        lambda: tune(PROPOSED, (1, 4), policy=policy, config=config,
+                     engine=engine),
+        rounds=1, iterations=1)
+
+    assert result.all_verified  # every sweep point computed a correct C
+    # the paper default must be competitive: within 5% of the winner
+    assert result.default.cycles <= result.best.cycles * 1.05
+    publish("tuning_indexmac", result.render(), capsys)
+
+
+def bench_tune_baseline(benchmark, capsys):
+    policy = policy_from_env()
+    config = config_from_env()
+    engine = setup_engine()
+
+    result = benchmark.pedantic(
+        lambda: tune(BASELINE, (1, 4), policy=policy, config=config,
+                     engine=engine),
+        rounds=1, iterations=1)
+
+    assert result.all_verified
+    assert result.best_beats_default  # ranking-machinery tripwire
+    publish("tuning_rowwise", result.render(), capsys)

@@ -7,12 +7,18 @@ Commands
 ``fig5``        total-CNN speedups (Fig. 5)
 ``fig6``        normalized memory accesses (Fig. 6)
 ``ablations``   the A1-A5 design-space studies
+``tune``        autotune the kernel schedule (tile rows, unroll,
+                dataflow) through the cached engine
 ``bench``       regenerate any subset of paper artifacts through the
                 experiment engine, with a progress/summary report
 ``layers``      list a model's convolutions and GEMM shapes
 ``encode``      assemble one instruction and show its encoding
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
 ``crosscheck``  gate ``compressed-replay`` against ``detailed``
+
+The simulation commands accept ``--schedule FILE`` to run with a tuned
+kernel schedule produced by ``repro tune`` instead of the paper's
+hand-picked one.
 
 Experiment engine
 -----------------
@@ -75,6 +81,22 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     _add_backend_arg(parser)
 
 
+def _add_schedule_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--schedule", default=None, metavar="FILE",
+                        help="JSON schedule from `repro tune` to use "
+                             "instead of the paper default")
+
+
+def _schedule(args):
+    """The tuned Schedule selected by --schedule, or None."""
+    path = getattr(args, "schedule", None)
+    if not path:
+        return None
+    from repro.eval.tuning import load_tuned_schedule
+
+    return load_tuned_schedule(path)
+
+
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default=None,
                         choices=available_backends(),
@@ -109,6 +131,7 @@ def cmd_fig4(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
     print(run_fig4(model=args.model, policy=policy, config=config,
+                   options=_schedule(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -117,7 +140,7 @@ def cmd_fig4(args) -> int:
 def cmd_fig5(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig5(policy=policy, config=config,
+    print(run_fig5(policy=policy, config=config, options=_schedule(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -126,7 +149,7 @@ def cmd_fig5(args) -> int:
 def cmd_fig6(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig6(policy=policy, config=config,
+    print(run_fig6(policy=policy, config=config, options=_schedule(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -150,33 +173,38 @@ def cmd_ablations(args) -> int:
 # bench — regenerate paper artifacts through the engine
 # ======================================================================
 #: name -> (title, results file stem,
-#:           driver(policy, config, backend) -> result)
+#:           driver(policy, config, backend, options) -> result).
+#: ``options`` is the tuned Schedule from --schedule (None = paper
+#: default); the ablation drivers sweep their own options and ignore it.
 ARTIFACTS = {
     "table1": ("Table I", "table1",
-               lambda policy, config, backend: run_table1()),
+               lambda policy, config, backend, options: run_table1()),
     "fig4": ("Fig. 4", "fig4",
-             lambda policy, config, backend: run_fig4(
-                 policy=policy, config=config, backend=backend)),
+             lambda policy, config, backend, options: run_fig4(
+                 policy=policy, config=config, backend=backend,
+                 options=options)),
     "fig5": ("Fig. 5", "fig5",
-             lambda policy, config, backend: run_fig5(
-                 policy=policy, config=config, backend=backend)),
+             lambda policy, config, backend, options: run_fig5(
+                 policy=policy, config=config, backend=backend,
+                 options=options)),
     "fig6": ("Fig. 6", "fig6",
-             lambda policy, config, backend: run_fig6(
-                 policy=policy, config=config, backend=backend)),
+             lambda policy, config, backend, options: run_fig6(
+                 policy=policy, config=config, backend=backend,
+                 options=options)),
     "a1": ("A1 dataflow ablation", "ablation_dataflow",
-           lambda policy, config, backend: run_dataflow_ablation(
+           lambda policy, config, backend, options: run_dataflow_ablation(
                policy=policy, config=config, backend=backend)),
     "a2": ("A2 unroll ablation", "ablation_unroll",
-           lambda policy, config, backend: run_unroll_ablation(
+           lambda policy, config, backend, options: run_unroll_ablation(
                policy=policy, config=config, backend=backend)),
     "a3": ("A3 tile-rows ablation", "ablation_tile_rows",
-           lambda policy, config, backend: run_tile_rows_ablation(
+           lambda policy, config, backend, options: run_tile_rows_ablation(
                policy=policy, config=config, backend=backend)),
     "a4": ("A4 CSR ablation", "ablation_csr",
-           lambda policy, config, backend: run_csr_ablation(
+           lambda policy, config, backend, options: run_csr_ablation(
                policy=policy, config=config, backend=backend)),
     "a5": ("A5 sparsity sweep", "ablation_sparsity",
-           lambda policy, config, backend: run_sparsity_sweep(
+           lambda policy, config, backend, options: run_sparsity_sweep(
                policy=policy, config=config, backend=backend)),
 }
 
@@ -191,10 +219,11 @@ def cmd_bench(args) -> int:
     out_dir = Path(args.out)
     start_all = time.perf_counter()
     backend = _backend(args)
+    schedule = _schedule(args)
     for i, name in enumerate(names, 1):
         title, stem, driver = ARTIFACTS[name]
         start = time.perf_counter()
-        result = driver(policy, config, backend)
+        result = driver(policy, config, backend, schedule)
         text = result.render()
         elapsed = time.perf_counter() - start
         path = out_dir / f"{stem}.txt"
@@ -208,6 +237,54 @@ def cmd_bench(args) -> int:
     print(f"\n{len(names)} artifact(s) at policy {policy.name!r} "
           f"in {total:.1f}s")
     print(engine.summary())
+    return 0
+
+
+# ======================================================================
+# tune — schedule autotuning through the cached engine
+# ======================================================================
+def _parse_nm(text: str) -> tuple[int, int]:
+    try:
+        n, m = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise SystemExit(f"--nm expects N:M (e.g. 1:4), got {text!r}")
+    return n, m
+
+
+def cmd_tune(args) -> int:
+    from repro.eval.tuning import save_tuned_schedule, tune
+
+    policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
+    kwargs = dict(policy=policy, layer=args.layer)
+    if args.shape is not None:
+        kwargs = dict(shape=tuple(args.shape), seed=args.seed)
+    result = tune(args.kernel, _parse_nm(args.nm), config=config,
+                  backend=_backend(args), engine=engine, **kwargs)
+    text = result.render()
+    # persist artifacts before printing: a closed stdout (broken pipe)
+    # must not lose the tuning outcome
+    if args.table_out:
+        atomic_write_text(Path(args.table_out), text + "\n")
+    if args.out:
+        save_tuned_schedule(args.out, result)
+    print(text)
+    print(f"\n[{engine.summary()}]")
+    if args.table_out:
+        print(f"tuning table -> {args.table_out}")
+    if args.out:
+        print(f"best schedule -> {args.out}  "
+              f"(use it with --schedule on fig4/fig5/fig6/bench)")
+    if args.check:
+        ok = True
+        if not result.all_verified:
+            print("FAIL: a sweep point produced an unverified result")
+            ok = False
+        if not result.best_beats_default:
+            print("FAIL: tuned schedule is slower than the paper default")
+            ok = False
+        if not ok:
+            return 1
     return 0
 
 
@@ -297,16 +374,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="resnet50", choices=list_models())
     _add_policy_arg(p)
     _add_engine_args(p)
+    _add_schedule_arg(p)
     p.set_defaults(fn=cmd_fig4)
 
     p = sub.add_parser("fig5", help="total-CNN speedups (Fig. 5)")
     _add_policy_arg(p)
     _add_engine_args(p)
+    _add_schedule_arg(p)
     p.set_defaults(fn=cmd_fig5)
 
     p = sub.add_parser("fig6", help="memory accesses (Fig. 6)")
     _add_policy_arg(p)
     _add_engine_args(p)
+    _add_schedule_arg(p)
     p.set_defaults(fn=cmd_fig6)
 
     p = sub.add_parser("ablations", help="A1-A5 design-space studies")
@@ -327,7 +407,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print each rendered artifact")
     _add_policy_arg(p)
     _add_engine_args(p)
+    _add_schedule_arg(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the kernel schedule through the cached engine")
+    p.add_argument("--kernel", default="indexmac-spmm",
+                   choices=["rowwise-spmm", "indexmac-spmm"],
+                   help="kernel whose schedule to tune")
+    p.add_argument("--nm", default="1:4", metavar="N:M",
+                   help="sparsity pattern (default: 1:4)")
+    p.add_argument("--layer", default="conv3_1_3x3", metavar="NAME",
+                   help="representative ResNet50 layer to tune on")
+    p.add_argument("--shape", nargs=3, type=int, default=None,
+                   metavar=("ROWS", "K", "N"),
+                   help="tune on a synthetic GEMM instead of a layer")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic GEMM seed (with --shape)")
+    p.add_argument("--out", default="benchmarks/results/tuned_schedule.json",
+                   metavar="FILE",
+                   help="where to persist the winning schedule "
+                        "(empty string to skip)")
+    p.add_argument("--table-out", default="benchmarks/results/tuning.txt",
+                   metavar="FILE",
+                   help="where to archive the tuning table "
+                        "(empty string to skip)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless every sweep point "
+                        "verified and the winner beats or matches the "
+                        "paper default schedule")
+    _add_policy_arg(p)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("layers", help="list a model's conv layers")
     p.add_argument("model", choices=list_models())

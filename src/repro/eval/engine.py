@@ -49,6 +49,7 @@ from repro.arch.timing import resolve_backend
 from repro.errors import EngineError
 from repro.eval.runner import CSR_KERNEL, KernelRun, run_csr, run_spmm
 from repro.kernels.builder import KernelOptions
+from repro.kernels.compiler import Schedule
 from repro.nn.models import get_model
 from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 
@@ -56,7 +57,11 @@ from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 #: Schema 2: timing backends — the backend is part of the job identity,
 #: so cached ``detailed`` results can never answer ``compressed-replay``
 #: runs (or vice versa).
-CACHE_SCHEMA = 2
+#: Schema 3: schedule-driven kernel compiler — the full ``Schedule``
+#: (including vlmax and B-tile residency, which the legacy
+#: ``KernelOptions`` cannot express) joins the job identity, so the
+#: autotuner's sweep points can never alias each other.
+CACHE_SCHEMA = 3
 
 
 def default_cache_dir() -> Path:
@@ -100,11 +105,25 @@ class SimJob:
     # -- workload source B: an explicit synthetic GEMM
     shape: tuple[int, int, int] | None = None  #: (rows, k, n)
     seed: int | None = None
+    #: Full kernel schedule (part of the cache identity).  ``None``
+    #: lifts ``options``; when given, ``options`` is overwritten with
+    #: its legacy projection so the two can never disagree in the hash.
+    schedule: Schedule | None = None
 
     def __post_init__(self):
         # resolve (and validate) the backend eagerly so the content
         # hash always sees a concrete name, however the job was built
         object.__setattr__(self, "backend", resolve_backend(self.backend))
+        if self.schedule is None:
+            # options may itself be a full Schedule (direct construction
+            # mirrors the classmethods): promote it verbatim so
+            # vlmax/b_residency are never silently dropped
+            if isinstance(self.options, Schedule):
+                object.__setattr__(self, "schedule", self.options)
+            else:
+                object.__setattr__(self, "schedule",
+                                   Schedule.from_options(self.options))
+        object.__setattr__(self, "options", self.schedule.to_options())
         layer_src = (self.model, self.layer, self.policy)
         shape_src = (self.shape, self.seed)
         if not ((all(v is not None for v in layer_src)
@@ -115,31 +134,46 @@ class SimJob:
                 "SimJob needs exactly one workload source: either "
                 "model+layer+policy or shape+seed")
 
+    @staticmethod
+    def _split_options(options, schedule):
+        """Let ``options`` carry a full Schedule (the tuner hands its
+        sweep points straight to the job constructors)."""
+        if isinstance(options, Schedule):
+            if schedule is not None and schedule != options:
+                raise EngineError(
+                    "conflicting schedules: options carries a Schedule "
+                    "that differs from schedule=")
+            return KernelOptions(), options
+        return options or KernelOptions(), schedule
+
     @classmethod
     def for_layer(cls, model: str, layer: str, nm: tuple[int, int],
                   policy: ScalePolicy, kernel: str,
-                  options: KernelOptions | None = None,
+                  options: KernelOptions | Schedule | None = None,
                   config: ProcessorConfig | None = None,
                   verify: bool = True,
-                  backend: str | None = None) -> "SimJob":
-        return cls(kernel=kernel, nm=tuple(nm),
-                   options=options or KernelOptions(),
+                  backend: str | None = None,
+                  schedule: Schedule | None = None) -> "SimJob":
+        options, schedule = cls._split_options(options, schedule)
+        return cls(kernel=kernel, nm=tuple(nm), options=options,
                    config=config or ProcessorConfig.scaled_default(),
                    verify=verify, backend=backend,
-                   model=model, layer=layer, policy=policy)
+                   model=model, layer=layer, policy=policy,
+                   schedule=schedule)
 
     @classmethod
     def for_shape(cls, rows: int, k: int, n: int, nm: tuple[int, int],
                   kernel: str, seed: int = 0,
-                  options: KernelOptions | None = None,
+                  options: KernelOptions | Schedule | None = None,
                   config: ProcessorConfig | None = None,
                   verify: bool = True,
-                  backend: str | None = None) -> "SimJob":
-        return cls(kernel=kernel, nm=tuple(nm),
-                   options=options or KernelOptions(),
+                  backend: str | None = None,
+                  schedule: Schedule | None = None) -> "SimJob":
+        options, schedule = cls._split_options(options, schedule)
+        return cls(kernel=kernel, nm=tuple(nm), options=options,
                    config=config or ProcessorConfig.scaled_default(),
                    verify=verify, backend=backend,
-                   shape=(rows, k, n), seed=seed)
+                   shape=(rows, k, n), seed=seed, schedule=schedule)
 
 
 def _canonical(value):
@@ -175,12 +209,12 @@ def job_operands(job: SimJob):
             raise EngineError(
                 f"model {job.model!r} has no layer {job.layer!r}")
         workload = make_layer_workload(layer, *job.nm, policy=job.policy,
-                                       tile_rows=job.options.tile_rows)
+                                       tile_rows=job.schedule.tile_rows)
         return workload.a, workload.b
     rows, k, n_cols = job.shape
     rng = np.random.default_rng(job.seed)
     return make_workload(rows, k, n_cols, *job.nm, rng,
-                         tile_rows=job.options.tile_rows)
+                         tile_rows=job.schedule.tile_rows)
 
 
 def execute_job(job: SimJob) -> KernelRun:
@@ -188,8 +222,8 @@ def execute_job(job: SimJob) -> KernelRun:
     a, b = job_operands(job)
     if job.kernel == CSR_KERNEL:
         return run_csr(a, b, config=job.config, verify=job.verify,
-                       backend=job.backend)
-    return run_spmm(a, b, job.kernel, options=job.options,
+                       backend=job.backend, vlmax=job.schedule.vlmax)
+    return run_spmm(a, b, job.kernel, schedule=job.schedule,
                     config=job.config, verify=job.verify,
                     backend=job.backend)
 

@@ -32,6 +32,7 @@ from repro.eval.engine import SimJob, get_engine
 from repro.eval.report import bar_chart, format_table, pct
 from repro.eval.runner import CSR_KERNEL
 from repro.kernels.builder import KernelOptions
+from repro.kernels.compiler import Schedule
 from repro.kernels.dataflow import Dataflow
 from repro.nn.models import MODEL_NAMES, get_model, unique_gemm_layers
 from repro.nn.workload import SMALL, ScalePolicy, padded_gemm
@@ -47,13 +48,69 @@ def paper_options(**overrides) -> KernelOptions:
     return KernelOptions(**defaults)
 
 
+def paper_schedule(**overrides) -> Schedule:
+    """The Section IV-A kernel layout as a full compiler schedule.
+
+    ``overrides`` accepts any :class:`Schedule` field (so sweeps can
+    also vary ``vlmax``/``b_residency``, which the legacy
+    :class:`KernelOptions` cannot express).
+    """
+    base = Schedule.from_options(paper_options())
+    if not overrides:
+        return base
+    payload = base.to_dict()
+    payload.update(overrides)
+    return Schedule.from_dict(payload)
+
+
+def _legacy_options(options) -> KernelOptions:
+    """Project a (possibly tuned) Schedule onto the legacy knobs for
+    consumers that predate the compiler (the analytic cost model)."""
+    if isinstance(options, Schedule):
+        return options.to_options()
+    return options
+
+
+def _applicable_options(kernel: str, options, nm: tuple[int, int]):
+    """The options to run ``kernel`` with, given possibly-tuned input.
+
+    A tuned :class:`Schedule` only applies to kernels that can actually
+    schedule it — e.g. a rowwise-tuned A-stationary or L=64 winner
+    cannot drive the vindexmac kernel (B-stationary by construction,
+    L bounded by the vector-register budget).  Incompatible kernels
+    fall back to the paper defaults, so ``--schedule`` comparisons
+    always run instead of crashing; legacy :class:`KernelOptions` pass
+    through untouched (the ablations sweep them deliberately).
+    """
+    if not isinstance(options, Schedule):
+        return options
+    from repro.kernels.compiler import get_spec, normalize_schedule
+    from repro.kernels.dataflow import max_tile_rows, validate_tile_rows
+    from repro.errors import KernelError
+
+    spec = get_spec(kernel)
+    try:
+        schedule = normalize_schedule(spec, options)
+        if schedule.b_residency == "vrf":
+            validate_tile_rows(schedule.tile_rows, *nm, schedule.vlmax,
+                               num_vregs=32, reserved_vregs=16)
+        elif schedule.tile_rows > max_tile_rows(*nm, schedule.vlmax):
+            raise KernelError("tile exceeds the Section III bound")
+    except KernelError:
+        return paper_schedule()
+    # hand back the ORIGINAL schedule (not the normalized copy) so the
+    # job hash matches what the caller persisted; the compiler
+    # re-normalizes at lowering time
+    return options
+
+
 _COMPARISON_CACHE: dict = {}
 
 
 def model_comparisons(model: str, nm: tuple[int, int],
                       policy: ScalePolicy = SMALL,
                       config: ProcessorConfig | None = None,
-                      options: KernelOptions | None = None,
+                      options: KernelOptions | Schedule | None = None,
                       verify: bool = True,
                       backend: str | None = None) -> list[LayerComparison]:
     """Simulate both designs on every unique layer GEMM of ``model``.
@@ -63,6 +120,8 @@ def model_comparisons(model: str, nm: tuple[int, int],
     through the experiment engine (parallel + disk-cached) as one
     batch; the policy travels inside each job by value, so custom
     :class:`ScalePolicy` instances work like the registered ones.
+    ``options`` also accepts a full compiler :class:`Schedule` (e.g. a
+    `repro tune` winner), which then keys the jobs' cache identity.
     """
     config = config or ProcessorConfig.scaled_default()
     options = options or paper_options()
@@ -70,10 +129,12 @@ def model_comparisons(model: str, nm: tuple[int, int],
     key = (model, nm, policy, config, options, verify, backend)
     if key in _COMPARISON_CACHE:
         return _COMPARISON_CACHE[key]
+    per_kernel = {kernel: _applicable_options(kernel, options, nm)
+                  for kernel in (BASELINE, PROPOSED)}
     layers = list(unique_gemm_layers(get_model(model)))
     jobs = [
         SimJob.for_layer(model, layer.name, nm, policy, kernel,
-                         options, config, verify, backend)
+                         per_kernel[kernel], config, verify, backend)
         for layer, _ in layers
         for kernel in (BASELINE, PROPOSED)
     ]
@@ -81,7 +142,7 @@ def model_comparisons(model: str, nm: tuple[int, int],
     result = []
     for (layer, mult), base, prop in zip(layers, runs[0::2], runs[1::2]):
         scaled = padded_gemm(layer.gemm, *nm, policy=policy,
-                             tile_rows=options.tile_rows)
+                             tile_rows=per_kernel[PROPOSED].tile_rows)
         result.append(LayerComparison(
             layer_name=layer.name, nm=nm, original=layer.gemm,
             scaled=scaled, baseline=base.stats, proposed=prop.stats,
@@ -144,7 +205,7 @@ class Fig4Result:
 
 def run_fig4(model: str = "resnet50", policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | None = None,
+             options: KernelOptions | Schedule | None = None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig4Result:
     comparisons = {
@@ -189,7 +250,7 @@ class Fig5Result:
 
 def run_fig5(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | None = None,
+             options: KernelOptions | Schedule | None = None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig5Result:
     totals = {}
@@ -259,7 +320,7 @@ def _analytic_model_mem_ratio(model: str, nm: tuple[int, int],
 
 def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | None = None,
+             options: KernelOptions | Schedule | None = None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig6Result:
     options = options or paper_options()
@@ -269,8 +330,11 @@ def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
             comps = model_comparisons(model, nm, policy, config, options,
                                       verify, backend)
             simulated[(model, nm)] = aggregate_mem_ratio(comps)
+            # the analytic ratio models the proposed kernel's schedule
+            # (with the same incompatibility fallback as the jobs)
             analytic[(model, nm)] = _analytic_model_mem_ratio(
-                model, nm, options)
+                model, nm,
+                _legacy_options(_applicable_options(PROPOSED, options, nm)))
     return Fig6Result(policy=policy.name, simulated=simulated,
                       analytic_full=analytic)
 

@@ -10,8 +10,9 @@ from repro.arch.config import ProcessorConfig
 from repro.arch.processor import DecoupledProcessor
 from repro.arch.stats import ExecutionStats
 from repro.arch.timing import DETAILED, get_backend, resolve_backend
-from repro.errors import SimulationError
+from repro.errors import KernelError, SimulationError
 from repro.kernels.builder import KernelOptions
+from repro.kernels.compiler import Schedule
 from repro.kernels.layout import read_result, stage_spmm
 from repro.kernels.registry import get_trace_kernel
 from repro.nn.workload import LayerWorkload
@@ -39,6 +40,20 @@ class KernelRun:
                                     self.stats.instructions)
 
 
+def _check_vlmax(kernel: str, vlmax: int, config: ProcessorConfig) -> None:
+    """Reject schedules whose vector length exceeds the hardware's.
+
+    ``vsetvli`` would silently cap ``vl`` and the kernel's slide-driven
+    inner loops would then compute garbage — fail loudly instead.
+    """
+    if vlmax > config.vector.vlmax:
+        raise KernelError(
+            f"schedule vlmax={vlmax} exceeds the configured vector "
+            f"engine's VLMAX={config.vector.vlmax} "
+            f"({config.vector.vlen_bits}-bit registers, "
+            f"{config.vector.sew_bits}-bit elements) for {kernel!r}")
+
+
 def _verify_result(kernel: str, got: np.ndarray, a: NMSparseMatrix,
                    b: np.ndarray) -> None:
     """Check a simulated C against the float64 numpy reference.
@@ -55,20 +70,29 @@ def _verify_result(kernel: str, got: np.ndarray, a: NMSparseMatrix,
 
 
 def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
-             options: KernelOptions | None = None,
+             options: KernelOptions | Schedule | None = None,
              config: ProcessorConfig | None = None,
              verify: bool = True,
-             backend: str | None = None) -> KernelRun:
+             backend: str | None = None,
+             schedule: Schedule | None = None) -> KernelRun:
     """Stage ``C = A x B``, run ``kernel``, and optionally verify C.
 
+    The kernel layout comes from ``schedule`` (a full compiler
+    :class:`Schedule`) when given, else from ``options`` — which itself
+    accepts either legacy :class:`KernelOptions` or a Schedule.
     ``backend`` selects the timing model (``None`` resolves via
     ``$REPRO_BACKEND``, default ``detailed``); functional results are
     bit-exact under every backend, so verification is identical.
     """
+    if schedule is None:
+        schedule = (options if isinstance(options, Schedule)
+                    else Schedule.from_options(options))
     backend = resolve_backend(backend)
-    proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
+    config = config or ProcessorConfig.scaled_default()
+    _check_vlmax(kernel, schedule.vlmax, config)
+    proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
-    trace = get_trace_kernel(kernel)(staged, options or KernelOptions())
+    trace = get_trace_kernel(kernel)(staged, schedule)
     result = get_backend(backend).run(proc, trace)
     verified = False
     if verify:
@@ -86,12 +110,15 @@ CSR_KERNEL = "csr-spmm"
 def run_csr(a: NMSparseMatrix, b: np.ndarray,
             config: ProcessorConfig | None = None,
             verify: bool = True,
-            backend: str | None = None) -> KernelRun:
+            backend: str | None = None,
+            vlmax: int = 16) -> KernelRun:
     """Run the unstructured-CSR kernel on the same operands.
 
     The N:M matrix is re-encoded as plain CSR (identical values and
     density), staged through the CSR layout, and executed with the
     format's own kernel — the A4 ablation's equal-density baseline.
+    ``vlmax`` is the only schedule knob the CSR nest has (no tiling,
+    no unrolling); the engine threads it through from the job schedule.
     """
     from repro.kernels.spmm_csr import (
         read_csr_result,
@@ -101,10 +128,12 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
     from repro.sparse.csr import CSRMatrix
 
     backend = resolve_backend(backend)
-    proc = DecoupledProcessor(config or ProcessorConfig.scaled_default())
+    config = config or ProcessorConfig.scaled_default()
+    _check_vlmax(CSR_KERNEL, vlmax, config)
+    proc = DecoupledProcessor(config)
     csr = CSRMatrix.from_dense(a.to_dense())
     staged = stage_csr(proc.mem, csr, b)
-    result = get_backend(backend).run(proc, trace_csr_spmm(staged))
+    result = get_backend(backend).run(proc, trace_csr_spmm(staged, vlmax))
     verified = False
     if verify:
         _verify_result(CSR_KERNEL, read_csr_result(proc.mem, staged), a, b)
@@ -114,10 +143,12 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
 
 
 def run_layer(workload: LayerWorkload, kernel: str,
-              options: KernelOptions | None = None,
+              options: KernelOptions | Schedule | None = None,
               config: ProcessorConfig | None = None,
               verify: bool = True,
-              backend: str | None = None) -> KernelRun:
+              backend: str | None = None,
+              schedule: Schedule | None = None) -> KernelRun:
     """Run one CNN layer workload through ``kernel``."""
     return run_spmm(workload.a, workload.b, kernel, options=options,
-                    config=config, verify=verify, backend=backend)
+                    config=config, verify=verify, backend=backend,
+                    schedule=schedule)

@@ -32,6 +32,7 @@ Builders use :class:`TraceBuilder`::
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 
 from repro.errors import KernelError
@@ -152,6 +153,22 @@ class Trace:
         steady = sum(node.dynamic_length for node in self.nodes
                      if type(node) is Loop and node.steady)
         return steady / total
+
+    def fingerprint(self) -> str:
+        """sha256 over the exact expanded stream (opcode + all operands).
+
+        Two traces share a fingerprint iff their dynamic instruction
+        streams are identical instruction-for-instruction — the golden
+        stream-identity tests pin kernel emissions to this digest.
+        """
+        digest = hashlib.sha256()
+        first = True
+        for instr in self.instructions():
+            if not first:
+                digest.update(b"\n")
+            digest.update(",".join(map(str, instr.key())).encode())
+            first = False
+        return digest.hexdigest()
 
     @classmethod
     def from_stream(cls, stream) -> "Trace":

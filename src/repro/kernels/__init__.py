@@ -1,10 +1,24 @@
-"""Vectorized matrix-multiplication kernels (Algorithms 1-3 + CSR)."""
+"""Vectorized matrix-multiplication kernels (Algorithms 1-3 + CSR).
+
+Emission is schedule-driven: every kernel is a declarative
+:class:`~repro.kernels.compiler.KernelSpec` lowered against a
+:class:`~repro.kernels.compiler.Schedule` by the compiler passes in
+:mod:`repro.kernels.compiler`; the historical ``build_*``/``trace_*``
+entry points remain as thin wrappers.
+"""
 
 from repro.kernels.asm_kernels import (
     indexmac_spmm_assembly,
     run_assembly_spmm,
 )
 from repro.kernels.builder import KernelOptions
+from repro.kernels.compiler import (
+    SPECS,
+    KernelSpec,
+    Schedule,
+    compile_trace,
+    get_spec,
+)
 from repro.kernels.dataflow import Dataflow, max_tile_rows, validate_tile_rows
 from repro.kernels.dense_rowwise import build_dense_rowwise, trace_dense_rowwise
 from repro.kernels.layout import (
@@ -21,6 +35,9 @@ from repro.kernels.registry import (
     TRACE_KERNELS,
     get_kernel,
     get_trace_kernel,
+    known_kernels,
+    register_kernel,
+    unregister_kernel,
 )
 from repro.kernels.spmm_csr import (
     StagedCSR,
@@ -37,28 +54,36 @@ __all__ = [
     "Dataflow",
     "KERNELS",
     "KernelOptions",
+    "KernelSpec",
+    "SPECS",
+    "Schedule",
     "StagedCSR",
     "StagedDense",
     "StagedSpMM",
+    "TRACE_KERNELS",
     "build_csr_spmm",
     "build_dense_rowwise",
     "build_indexmac_spmm",
     "build_rowwise_spmm",
-    "TRACE_KERNELS",
+    "compile_trace",
     "get_kernel",
+    "get_spec",
     "get_trace_kernel",
-    "trace_csr_spmm",
-    "trace_dense_rowwise",
-    "trace_indexmac_spmm",
-    "trace_rowwise_spmm",
     "indexmac_spmm_assembly",
+    "known_kernels",
     "max_tile_rows",
     "read_csr_result",
     "read_dense_result",
     "read_result",
+    "register_kernel",
     "run_assembly_spmm",
     "stage_csr",
     "stage_dense",
     "stage_spmm",
+    "trace_csr_spmm",
+    "trace_dense_rowwise",
+    "trace_indexmac_spmm",
+    "trace_rowwise_spmm",
+    "unregister_kernel",
     "validate_tile_rows",
 ]

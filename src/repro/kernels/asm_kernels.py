@@ -1,9 +1,10 @@
 """Assembly-text kernels executed through the ISS.
 
-The trace-generating builders in this package are the fast path for
-experiments; this module provides the same Algorithm 3 kernel as a real
-*program* — assembly text with labels, a genuine backward branch for
-the row loop, and operands passed in argument registers — assembled by
+The compiled trace builders in this package (see
+:mod:`repro.kernels.compiler`) are the fast path for experiments; this
+module provides the same Algorithm 3 kernel as a real *program* —
+assembly text with labels, a genuine backward branch for the row loop,
+and operands passed in argument registers — assembled by
 :mod:`repro.isa.assembler` and executed by the branch-following ISS.
 It demonstrates (and the tests verify) that the proposed instruction
 composes into working compiled-style code, closing the loop between the

@@ -3,7 +3,12 @@
 The kernels are *trace generators*: Python loops drive the tiling and
 emit the exact dynamic RISC-V instruction stream, including scalar
 pointer updates and loop-control instructions, so the simulator charges
-the same front-end work a compiled binary would.
+the same front-end work a compiled binary would.  The loops themselves
+live in the schedule-driven compiler (:mod:`repro.kernels.compiler`),
+whose register-allocation pass binds every compiled kernel to the
+conventions below; :class:`KernelOptions` remains as the legacy knob
+set, lifted into a full :class:`~repro.kernels.compiler.Schedule` by
+``Schedule.from_options``.
 
 Register conventions (shared by all SpMM kernels):
 

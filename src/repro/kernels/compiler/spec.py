@@ -1,0 +1,223 @@
+"""Declarative kernel descriptions: :class:`KernelSpec` + :class:`Schedule`.
+
+A *spec* says **what** a kernel computes and through which mechanism —
+operand format, compute style (memory-gathered B rows vs. a
+VRF-resident B tile driven by ``vindexmac``), and how A's column
+indices are encoded.  A *schedule* says **how** the computation is laid
+out — tile height L, unroll depth, dataflow (stationary operand),
+vector length and B-tile residency.  The compiler pipeline in
+:mod:`repro.kernels.compiler` lowers a (spec, schedule, staged
+operands) triple through explicit passes into the loop-annotated Trace
+IR of :mod:`repro.isa.trace`.
+
+Schedules are plain data: they round-trip through :meth:`Schedule.
+to_dict`/:meth:`Schedule.from_dict` and carry a process-stable
+:meth:`Schedule.cache_key`, so the autotuner can persist winners and
+the experiment engine can hash them into the simulation cache identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from repro.errors import KernelError
+from repro.kernels.builder import KernelOptions
+from repro.kernels.dataflow import Dataflow
+
+#: B-tile residency choices: ``memory`` gathers rows of B with vector
+#: loads, ``vrf`` pre-loads the tile into the top of the vector
+#: register file (the vindexmac mechanism).  ``auto`` resolves to the
+#: spec's native residency during schedule normalization.
+RESIDENCIES = ("auto", "memory", "vrf")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """What a kernel computes, independent of any schedule choice."""
+
+    name: str            #: registry name (e.g. ``indexmac-spmm``)
+    operand: str         #: A's format: ``nm-sparse`` | ``dense`` | ``csr``
+    compute: str         #: ``mac-mem`` | ``indexmac-vrf`` | ``mac-scalar``
+                         #: | ``dense-slide``
+    index_source: str | None  #: col_idx encoding: ``scaled`` byte
+                              #: offsets, ``raw`` indices, or None
+    dataflows: tuple[Dataflow, ...]  #: schedulable dataflows (empty =
+                                     #: the nest is fixed; ignored)
+    b_residency: str     #: native residency: ``memory`` or ``vrf``
+    display_name: str    #: paper name for reports
+
+
+#: The four kernels of the reproduction, as data.
+DENSE_ROWWISE_SPEC = KernelSpec(
+    name="dense-rowwise", operand="dense", compute="dense-slide",
+    index_source=None, dataflows=(), b_residency="memory",
+    display_name="Dense Row-Wise (Algorithm 1)")
+
+ROWWISE_SPEC = KernelSpec(
+    name="rowwise-spmm", operand="nm-sparse", compute="mac-mem",
+    index_source="scaled",
+    dataflows=(Dataflow.A_STATIONARY, Dataflow.B_STATIONARY,
+               Dataflow.C_STATIONARY),
+    b_residency="memory", display_name="Row-Wise-SpMM")
+
+INDEXMAC_SPEC = KernelSpec(
+    name="indexmac-spmm", operand="nm-sparse", compute="indexmac-vrf",
+    index_source="raw", dataflows=(Dataflow.B_STATIONARY,),
+    b_residency="vrf", display_name="Proposed")
+
+CSR_SPEC = KernelSpec(
+    name="csr-spmm", operand="csr", compute="mac-scalar",
+    index_source="raw", dataflows=(), b_residency="memory",
+    display_name="CSR Row-Wise (unstructured)")
+
+#: name -> spec registry for the compiler entry point.
+SPECS = {spec.name: spec for spec in (
+    DENSE_ROWWISE_SPEC, ROWWISE_SPEC, INDEXMAC_SPEC, CSR_SPEC)}
+
+
+def get_spec(name: str) -> KernelSpec:
+    """Look up a kernel spec by name."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SPECS))
+        raise KernelError(
+            f"unknown kernel spec {name!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """How a kernel is laid out: the autotuner's search space.
+
+    Strict superset of the legacy :class:`KernelOptions` knobs —
+    ``vlmax`` (the vsetvli AVL strategy) and ``b_residency`` are new;
+    ``tile_rows``/``unroll``/``dataflow``/``init_c_zero`` carry the
+    same meaning as before.
+    """
+
+    tile_rows: int = 16
+    unroll: int = 4
+    dataflow: Dataflow = Dataflow.B_STATIONARY
+    vlmax: int = 16
+    b_residency: str = "auto"
+    init_c_zero: bool = True
+
+    def __post_init__(self):
+        if isinstance(self.dataflow, str):
+            object.__setattr__(self, "dataflow",
+                               parse_dataflow(self.dataflow))
+        if self.unroll not in (1, 2, 4):
+            raise KernelError(f"unroll must be 1, 2 or 4, not {self.unroll}")
+        if self.tile_rows <= 0:
+            raise KernelError("tile_rows must be positive")
+        if self.vlmax <= 0:
+            raise KernelError("vlmax must be positive")
+        if self.b_residency not in RESIDENCIES:
+            raise KernelError(
+                f"b_residency must be one of {RESIDENCIES}, "
+                f"not {self.b_residency!r}")
+
+    # -- legacy bridge -------------------------------------------------
+    @classmethod
+    def from_options(cls, options: KernelOptions | None,
+                     vlmax: int = 16) -> "Schedule":
+        """Lift legacy :class:`KernelOptions` into a schedule."""
+        if isinstance(options, Schedule):
+            # a Schedule duck-types the KernelOptions fields; silently
+            # rebuilding would drop vlmax/b_residency
+            raise KernelError(
+                "already a Schedule — pass it through directly "
+                "(or use coerce_schedule)")
+        opt = options or KernelOptions()
+        return cls(tile_rows=opt.tile_rows, unroll=opt.unroll,
+                   dataflow=opt.dataflow, vlmax=vlmax,
+                   init_c_zero=opt.init_c_zero)
+
+    def to_options(self) -> KernelOptions:
+        """Project onto the legacy knobs (drops vlmax/b_residency)."""
+        return KernelOptions(unroll=self.unroll, tile_rows=self.tile_rows,
+                             dataflow=self.dataflow,
+                             init_c_zero=self.init_c_zero)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic, JSON-serializable representation."""
+        return {
+            "tile_rows": self.tile_rows,
+            "unroll": self.unroll,
+            "dataflow": self.dataflow.value,
+            "vlmax": self.vlmax,
+            "b_residency": self.b_residency,
+            "init_c_zero": self.init_c_zero,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Schedule":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {"tile_rows", "unroll", "dataflow", "vlmax",
+                 "b_residency", "init_c_zero"}
+        extra = set(payload) - known
+        if extra:
+            raise KernelError(
+                f"unknown Schedule fields {sorted(extra)}")
+        return cls(**payload)
+
+    def cache_key(self) -> str:
+        """Process-stable content hash (used in cache identities)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Compact human-readable form for tables and logs."""
+        return (f"L={self.tile_rows} u{self.unroll} "
+                f"{self.dataflow.value}-stat vl={self.vlmax}")
+
+
+def parse_dataflow(value) -> Dataflow:
+    """Coerce ``'B'`` / ``'B_STATIONARY'`` / a :class:`Dataflow`."""
+    if isinstance(value, Dataflow):
+        return value
+    try:
+        return Dataflow(value)
+    except ValueError:
+        pass
+    try:
+        return Dataflow[str(value).upper()]
+    except KeyError:
+        raise KernelError(f"unknown dataflow {value!r}") from None
+
+
+def coerce_schedule(value, vlmax: int | None = None) -> Schedule:
+    """Accept a :class:`Schedule`, legacy :class:`KernelOptions`, or
+    None (defaults) — the bridge the thin legacy wrappers go through."""
+    if isinstance(value, Schedule):
+        return value
+    if value is None or isinstance(value, KernelOptions):
+        return Schedule.from_options(value, vlmax=vlmax or 16)
+    raise KernelError(
+        f"expected Schedule or KernelOptions, got {type(value).__name__}")
+
+
+def normalize_schedule(spec: KernelSpec, schedule: Schedule) -> Schedule:
+    """Resolve ``auto`` residency and validate the schedule against the
+    spec (the first compiler pass)."""
+    residency = schedule.b_residency
+    if residency == "auto":
+        residency = spec.b_residency
+    elif residency != spec.b_residency:
+        raise KernelError(
+            f"kernel {spec.name!r} requires {spec.b_residency!r} B-tile "
+            f"residency (its compute style is {spec.compute!r}); "
+            f"got {residency!r}")
+    if spec.dataflows and schedule.dataflow not in spec.dataflows:
+        allowed = "/".join(df.value for df in spec.dataflows)
+        why = (" (the vindexmac kernel pre-loads B into the vector "
+               "register file and is B-stationary by construction)"
+               if spec.compute == "indexmac-vrf" else "")
+        raise KernelError(
+            f"kernel {spec.name!r} supports only {allowed}-stationary "
+            f"dataflow, not {schedule.dataflow.value}-stationary{why}")
+    return replace(schedule, b_residency=residency)

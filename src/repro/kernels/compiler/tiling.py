@@ -1,0 +1,78 @@
+"""Tiling pass: schedule + staged operands -> a concrete loop plan.
+
+This is the first lowering pass.  It turns the declarative schedule
+into the exact trip counts the emitter will walk — column tiles,
+k-tiles, stored-slot counts per tile, and the unroll row-grouping
+(main groups at the scheduled unroll plus shrinking remainder groups,
+exactly as a compiled micro-kernel family would be selected).  All
+divisibility constraints are checked here, so emission never faults
+halfway through a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.kernels.builder import row_groups
+from repro.kernels.compiler.spec import KernelSpec, Schedule
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Concrete trip counts of one (spec, schedule, operands) lowering."""
+
+    vlmax: int
+    tile_rows: int
+    unroll: int
+    col_tiles: int
+    k_tiles: int
+    slots_tile: int  #: stored (value, index) slots per row per k-tile
+                     #: (0 for the dense and CSR nests)
+    #: unroll row groups: ``main`` run at the scheduled unroll inside a
+    #: steady register-driven loop, ``rest`` are the shrinking
+    #: remainder groups emitted straight-line.
+    groups: tuple[tuple[int, int], ...]
+    main: tuple[tuple[int, int], ...]
+    rest: tuple[tuple[int, int], ...]
+
+
+def _split_groups(rows: int, unroll: int):
+    groups = tuple(row_groups(rows, unroll))
+    main = tuple(g for g in groups if g[1] == unroll)
+    return groups, main, groups[len(main):]
+
+
+def plan_tiles(spec: KernelSpec, schedule: Schedule, staged) -> TilePlan:
+    """Lower the schedule onto the staged operand geometry."""
+    vlmax = schedule.vlmax
+    if spec.operand == "dense":
+        if staged.k % vlmax or staged.n_cols % vlmax:
+            raise KernelError(
+                f"dense kernel requires K={staged.k} and "
+                f"N={staged.n_cols} to be multiples of VL={vlmax}")
+        groups, main, rest = _split_groups(staged.rows, schedule.unroll)
+        return TilePlan(vlmax=vlmax, tile_rows=schedule.tile_rows,
+                        unroll=schedule.unroll,
+                        col_tiles=staged.n_cols // vlmax,
+                        k_tiles=staged.k // vlmax, slots_tile=0,
+                        groups=groups, main=main, rest=rest)
+    if spec.operand == "csr":
+        if staged.n_cols % vlmax:
+            raise KernelError(
+                f"N={staged.n_cols} is not a multiple of VL={vlmax}")
+        return TilePlan(vlmax=vlmax, tile_rows=schedule.tile_rows,
+                        unroll=1, col_tiles=staged.n_cols // vlmax,
+                        k_tiles=1, slots_tile=0,
+                        groups=(), main=(), rest=())
+    if spec.operand == "nm-sparse":
+        tile = schedule.tile_rows
+        groups, main, rest = _split_groups(staged.rows, schedule.unroll)
+        return TilePlan(vlmax=vlmax, tile_rows=tile,
+                        unroll=schedule.unroll,
+                        col_tiles=staged.num_col_tiles(vlmax),
+                        k_tiles=staged.num_k_tiles(tile),
+                        slots_tile=staged.slots_per_tile(tile),
+                        groups=groups, main=main, rest=rest)
+    raise KernelError(
+        f"spec {spec.name!r} has unknown operand kind {spec.operand!r}")

@@ -13,6 +13,12 @@ innermost loops:
   registers while the kernel sweeps the column tiles of B.
 * ``C_STATIONARY`` — an output row tile is produced completely (all of
   K) before moving on; C is never re-loaded, at the cost of B locality.
+
+The dataflow is a :class:`~repro.kernels.compiler.Schedule` field: the
+compiler's emission pass selects the loop nest from it, and ``repro
+tune`` sweeps every dataflow a kernel's spec declares schedulable
+(string forms are coerced by
+:func:`repro.kernels.compiler.parse_dataflow`).
 """
 
 from __future__ import annotations

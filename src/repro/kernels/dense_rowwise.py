@@ -9,14 +9,18 @@ ancestor of Algorithms 2 and 3 and as a test oracle substrate.
 Unlike the sparse kernels, the loaded row of B is *shared* by all
 unrolled output rows (every output row consumes B rows in the same
 order), so one ``vle32`` serves the whole unroll group.
+
+The emission lives in the schedule-driven compiler
+(:mod:`repro.kernels.compiler`); this module binds the
+``dense-rowwise`` spec to the historical builder signatures.
 """
 
 from __future__ import annotations
 
-from repro.isa.instructions import I
-from repro.isa.trace import Trace, TraceBuilder
-from repro.kernels import builder as bld
+from repro.isa.trace import Trace
 from repro.kernels.builder import KernelOptions
+from repro.kernels.compiler import compile_trace
+from repro.kernels.compiler.spec import DENSE_ROWWISE_SPEC
 from repro.kernels.layout import StagedDense
 
 
@@ -29,52 +33,7 @@ def trace_dense_rowwise(staged: StagedDense,
     group, one MAC and one slide per output row) is a steady loop of
     ``vlmax`` identical iterations.
     """
-    opt = options or KernelOptions()
-    k_tiles = staged.k // vlmax
-    col_tiles = staged.n_cols // vlmax
-
-    tb = TraceBuilder()
-    tb.emit(bld.set_vl(vlmax))
-    for jt in range(col_tiles):
-        col_off = jt * 4 * vlmax
-        for kt in range(k_tiles):
-            first_k = kt == 0 and opt.init_c_zero
-            a_off = kt * 4 * vlmax
-            for start, size in bld.row_groups(staged.rows, opt.unroll):
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.VAL_PTR[r],
-                        staged.a_addr
-                        + (start + r) * staged.a_row_stride + a_off))
-                    tb.emit(I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r]))
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.C_PTR[r],
-                        staged.c_addr
-                        + (start + r) * staged.c_row_stride + col_off))
-                    if first_k:
-                        tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))
-                    else:
-                        tb.emit(I.vle32(bld.V_ACC[r], bld.C_PTR[r]))
-                tb.emit(bld.li_addr(
-                    bld.B_PTR,
-                    staged.b_addr + kt * vlmax * staged.b_row_stride
-                    + col_off))
-                tb.emit(bld.li(bld.B_STRIDE, staged.b_row_stride))
-                with tb.loop(vlmax, label="b-rows"):
-                    tb.emit(I.vle32(bld.V_BROW[0], bld.B_PTR),
-                            I.add(bld.B_PTR, bld.B_PTR, bld.B_STRIDE))
-                    for r in range(size):
-                        tb.emit(I.vfmv_f_s(bld.FA[r], bld.V_VALUES[r]))
-                    for r in range(size):
-                        tb.emit(I.vfmacc_vf(bld.V_ACC[r], bld.FA[r],
-                                            bld.V_BROW[0]))
-                    for r in range(size):
-                        tb.emit(I.vslide1down_vx(bld.V_VALUES[r],
-                                                 bld.V_VALUES[r], 0))
-                for r in range(size):
-                    tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))
-    return tb.build()
+    return compile_trace(DENSE_ROWWISE_SPEC, staged, options, vlmax=vlmax)
 
 
 def build_dense_rowwise(staged: StagedDense,

@@ -1,9 +1,18 @@
-"""Name-based kernel registry (used by the evaluation harness)."""
+"""Name-based kernel registry (used by the evaluation harness).
+
+Kernels register a flat-stream builder (``KERNELS``) and, optionally, a
+loop-annotated trace builder (``TRACE_KERNELS``).  Lookups fall back
+across the two tables: a kernel registered with only a trace builder
+still serves flat streams (by expansion), and one registered with only
+a stream builder still serves traces (wrapped as a single unannotated
+block, so every timing backend can consume any kernel).  Unknown-name
+errors list the union of both tables.
+"""
 
 from __future__ import annotations
 
-from repro.isa.trace import Trace
 from repro.errors import KernelError
+from repro.isa.trace import Trace
 from repro.kernels.spmm_indexmac import build_indexmac_spmm, trace_indexmac_spmm
 from repro.kernels.spmm_rowwise import build_rowwise_spmm, trace_rowwise_spmm
 
@@ -27,13 +36,64 @@ DISPLAY_NAMES = {
 }
 
 
+def known_kernels() -> list[str]:
+    """Every registered name, across both tables (sorted)."""
+    return sorted(set(KERNELS) | set(TRACE_KERNELS))
+
+
+def register_kernel(name: str, builder=None, trace_builder=None,
+                    display_name: str | None = None) -> None:
+    """Register a kernel under ``name``.
+
+    At least one of ``builder`` (flat-stream generator) and
+    ``trace_builder`` (loop-annotated :class:`Trace` builder) is
+    required; the missing one is served through the fallback wrappers
+    of :func:`get_kernel` / :func:`get_trace_kernel`.
+    """
+    if builder is None and trace_builder is None:
+        raise KernelError(
+            f"kernel {name!r} needs a stream builder, a trace builder, "
+            "or both")
+    if name in KERNELS or name in TRACE_KERNELS:
+        raise KernelError(f"kernel {name!r} is already registered")
+    if builder is not None:
+        KERNELS[name] = builder
+    if trace_builder is not None:
+        TRACE_KERNELS[name] = trace_builder
+    if display_name is not None:
+        DISPLAY_NAMES[name] = display_name
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove ``name`` from every table (for tests and plugins)."""
+    KERNELS.pop(name, None)
+    TRACE_KERNELS.pop(name, None)
+    DISPLAY_NAMES.pop(name, None)
+
+
+def _unknown(name: str):
+    raise KernelError(
+        f"unknown kernel {name!r} (known: {', '.join(known_kernels())})"
+    ) from None
+
+
 def get_kernel(name: str):
-    """Look up a kernel builder by registry name."""
-    try:
-        return KERNELS[name]
-    except KeyError:
-        known = ", ".join(sorted(KERNELS))
-        raise KernelError(f"unknown kernel {name!r} (known: {known})") from None
+    """Look up a flat-stream kernel builder by registry name.
+
+    Kernels registered with only a trace builder fall back to a wrapper
+    that expands the trace, so both lookup paths accept every
+    registered name.
+    """
+    builder = KERNELS.get(name)
+    if builder is not None:
+        return builder
+    trace_builder = TRACE_KERNELS.get(name)
+    if trace_builder is None:
+        _unknown(name)
+
+    def expanded(staged, options=None, **kwargs):
+        yield from trace_builder(staged, options, **kwargs).instructions()
+    return expanded
 
 
 def get_trace_kernel(name: str):
@@ -46,7 +106,9 @@ def get_trace_kernel(name: str):
     builder = TRACE_KERNELS.get(name)
     if builder is not None:
         return builder
-    stream_builder = get_kernel(name)
+    stream_builder = KERNELS.get(name)
+    if stream_builder is None:
+        _unknown(name)
 
     def wrapped(staged, options=None, **kwargs) -> Trace:
         return Trace.from_stream(stream_builder(staged, options, **kwargs))

@@ -3,11 +3,15 @@
 With unstructured sparsity (Fig. 1a) nothing bounds a column index, so
 pre-loading rows of B into the vector register file is futile (Section
 III) and per-non-zero metadata must come from memory through the scalar
-side.  The kernel below is the natural RVV implementation: per
-non-zero, a scalar FP load of the value, a scalar load of the index,
-address arithmetic, a vector load of the B row, and a multiply-acc —
-strictly more work per non-zero than either structured kernel, which is
-the point of the comparison (experiment A4).
+side.  The kernel is the natural RVV implementation: per non-zero, a
+scalar FP load of the value, a scalar load of the index, address
+arithmetic, a vector load of the B row, and a multiply-acc — strictly
+more work per non-zero than either structured kernel, which is the
+point of the comparison (experiment A4).
+
+The emission lives in the schedule-driven compiler
+(:mod:`repro.kernels.compiler`, ``csr-spmm`` spec); this module keeps
+the CSR staging layout and the historical builder signatures.
 """
 
 from __future__ import annotations
@@ -18,9 +22,9 @@ import numpy as np
 
 from repro.arch.memory import FlatMemory
 from repro.errors import KernelError
-from repro.isa.instructions import I
-from repro.isa.trace import Trace, TraceBuilder
-from repro.kernels import builder as bld
+from repro.isa.trace import Trace
+from repro.kernels.compiler import Schedule, compile_trace
+from repro.kernels.compiler.spec import CSR_SPEC
 from repro.sparse.csr import CSRMatrix
 
 
@@ -75,35 +79,7 @@ def trace_csr_spmm(staged: StagedCSR, vlmax: int = 16) -> Trace:
     The per-non-zero loop advances its pointers in registers, so it is
     a steady loop of ``nnz`` identical iterations per (row, tile).
     """
-    col_tiles = staged.n_cols // vlmax
-    tb = TraceBuilder()
-    tb.emit(bld.set_vl(vlmax))
-    for i in range(staged.rows):
-        lo, hi = staged.indptr[i], staged.indptr[i + 1]
-        nnz = hi - lo
-        for jt in range(col_tiles):
-            col_off = jt * 4 * vlmax
-            # b_base for this column tile and the B row stride
-            tb.emit(bld.li_addr(bld.XFORM, staged.b_addr + col_off))
-            tb.emit(bld.li(bld.B_STRIDE, staged.b_row_stride))
-            tb.emit(bld.li_addr(bld.VAL_PTR[0], staged.data_addr + 4 * lo))
-            tb.emit(bld.li_addr(bld.IDX_PTR[0],
-                                staged.indices_addr + 4 * lo))
-            tb.emit(I.vmv_v_i(bld.V_ACC[0], 0))
-            with tb.loop(nnz, label="nnz"):
-                tb.emit(I.flw(bld.FA[0], bld.VAL_PTR[0], 0),
-                        I.lw(bld.T[0], bld.IDX_PTR[0], 0),
-                        I.mul(bld.T[0], bld.T[0], bld.B_STRIDE),
-                        I.add(bld.T[0], bld.T[0], bld.XFORM),
-                        I.vle32(bld.V_BROW[0], bld.T[0]),
-                        I.vfmacc_vf(bld.V_ACC[0], bld.FA[0], bld.V_BROW[0]),
-                        I.addi(bld.VAL_PTR[0], bld.VAL_PTR[0], 4),
-                        I.addi(bld.IDX_PTR[0], bld.IDX_PTR[0], 4))
-            tb.emit(bld.li_addr(
-                bld.C_PTR[0], staged.c_addr + i * staged.c_row_stride
-                + col_off))
-            tb.emit(I.vse32(bld.V_ACC[0], bld.C_PTR[0]))
-    return tb.build()
+    return compile_trace(CSR_SPEC, staged, Schedule(vlmax=vlmax))
 
 
 def build_csr_spmm(staged: StagedCSR, vlmax: int = 16):

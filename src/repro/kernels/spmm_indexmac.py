@@ -17,110 +17,36 @@ paper's lines 10-13:
 baseline's six (including a vector load of a row of B and a second
 vector-to-scalar move).
 
-:func:`trace_indexmac_spmm` builds the stream as a loop-annotated
-:class:`~repro.isa.trace.Trace`: the unrolled row loop and the
-per-non-zero inner loop execute identical instruction sequences every
-iteration (pointers advance in registers), so both are marked as steady
-loops for the compressed-replay timing backend.
+The emission itself lives in the schedule-driven compiler
+(:mod:`repro.kernels.compiler`): this module is the thin legacy entry
+point binding the ``indexmac-spmm`` spec (raw column indices, VRF
+B-tile residency, ``vindexmac`` compute) to the historical builder
+signatures.  The compiled trace is loop-annotated — the unrolled row
+loop and the per-non-zero inner loop are steady — and its expansion is
+instruction-for-instruction identical to the historical hand-written
+stream (pinned by ``tests/test_compiler_golden.py``).
 """
 
 from __future__ import annotations
 
-from repro.errors import KernelError
-from repro.isa.instructions import I
-from repro.isa.trace import Trace, TraceBuilder
-from repro.kernels import builder as bld
+from repro.isa.trace import Trace
 from repro.kernels.builder import KernelOptions
-from repro.kernels.dataflow import Dataflow, validate_tile_rows
+from repro.kernels.compiler import compile_trace
+from repro.kernels.compiler.spec import INDEXMAC_SPEC
 from repro.kernels.layout import StagedSpMM
 
 
 def trace_indexmac_spmm(staged: StagedSpMM,
                         options: KernelOptions | None = None,
                         vlmax: int = 16, num_vregs: int = 32) -> Trace:
-    """Build the loop-annotated trace of Algorithm 3."""
-    opt = options or KernelOptions()
-    if opt.dataflow is not Dataflow.B_STATIONARY:
-        raise KernelError(
-            "the vindexmac kernel pre-loads B into the vector register "
-            "file and is therefore B-stationary by construction")
-    tile = opt.tile_rows
-    validate_tile_rows(tile, staged.nm_n, staged.nm_m, vlmax, num_vregs,
-                       reserved_vregs=16)
-    vreg_base = num_vregs - tile
-    slots_tile = staged.slots_per_tile(tile)
-    k_tiles = staged.num_k_tiles(tile)
-    col_tiles = staged.num_col_tiles(vlmax)
+    """Build the loop-annotated trace of Algorithm 3.
 
-    tb = TraceBuilder()
-    tb.emit(bld.set_vl(vlmax))
-
-    for jt in range(col_tiles):
-        col_off = jt * 4 * vlmax
-        for kt in range(k_tiles):
-            # ---- pre-load the B tile into v[vreg_base .. vreg_base+L-1]
-            # (not a steady loop: each row targets a different vreg)
-            tb.emit(bld.li_addr(
-                bld.B_PTR,
-                staged.b_addr + kt * tile * staged.b_row_stride + col_off))
-            tb.emit(bld.li(bld.B_STRIDE, staged.b_row_stride))
-            for row in range(tile):
-                tb.emit(I.vle32(vreg_base + row, bld.B_PTR),
-                        I.add(bld.B_PTR, bld.B_PTR, bld.B_STRIDE))
-            # index transform: global k  ->  vector register number
-            tb.emit(bld.li(bld.XFORM, vreg_base - kt * tile))
-
-            first_k = kt == 0 and opt.init_c_zero
-            a_off = kt * slots_tile * 4
-
-            # ---- main unrolled row loop
-            groups = list(bld.row_groups(staged.rows, opt.unroll))
-            main = [g for g in groups if g[1] == opt.unroll]
-            rest = groups[len(main):]
-            if main:
-                size = opt.unroll
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.VAL_PTR[r],
-                        staged.values_addr + r * staged.a_row_stride
-                        + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.IDX_PTR[r],
-                        staged.col_idx_raw_addr
-                        + r * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.C_PTR[r],
-                        staged.c_addr + r * staged.c_row_stride + col_off))
-                tb.emit(bld.li(bld.A_BUMP, size * staged.a_row_stride))
-                tb.emit(bld.li(bld.C_BUMP, size * staged.c_row_stride))
-                tb.emit(bld.li(bld.ROW_CTR, len(main)))
-                with tb.loop(len(main), label="row-groups"):
-                    _emit_group_body(tb, size, slots_tile, first_k)
-                    for r in range(size):
-                        tb.emit(I.add(bld.VAL_PTR[r], bld.VAL_PTR[r],
-                                      bld.A_BUMP),
-                                I.add(bld.IDX_PTR[r], bld.IDX_PTR[r],
-                                      bld.A_BUMP),
-                                I.add(bld.C_PTR[r], bld.C_PTR[r],
-                                      bld.C_BUMP))
-                    tb.emit(bld.loop_control(bld.ROW_CTR))
-            # ---- remainder rows at reduced unroll
-            for start, size in rest:
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.VAL_PTR[r],
-                        staged.values_addr
-                        + (start + r) * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.IDX_PTR[r],
-                        staged.col_idx_raw_addr
-                        + (start + r) * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.C_PTR[r],
-                        staged.c_addr
-                        + (start + r) * staged.c_row_stride + col_off))
-                _emit_group_body(tb, size, slots_tile, first_k)
-    return tb.build()
+    ``options`` accepts legacy :class:`KernelOptions` or a compiler
+    :class:`~repro.kernels.compiler.Schedule` (which carries its own
+    ``vlmax``).
+    """
+    return compile_trace(INDEXMAC_SPEC, staged, options,
+                         vlmax=vlmax, num_vregs=num_vregs)
 
 
 def build_indexmac_spmm(staged: StagedSpMM,
@@ -129,30 +55,3 @@ def build_indexmac_spmm(staged: StagedSpMM,
     """Generate the dynamic instruction stream of Algorithm 3."""
     yield from trace_indexmac_spmm(staged, options, vlmax,
                                    num_vregs).instructions()
-
-
-def _emit_group_body(tb: TraceBuilder, size: int, slots_tile: int,
-                     first_k: bool) -> None:
-    """One unroll group: load A slices and C, run the inner loop, store."""
-    for r in range(size):
-        tb.emit(I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r]))
-    for r in range(size):
-        tb.emit(I.vle32(bld.V_COLIDX[r], bld.IDX_PTR[r]))
-    for r in range(size):
-        tb.emit(I.vadd_vx(bld.V_COLIDX[r], bld.V_COLIDX[r], bld.XFORM))
-    for r in range(size):
-        if first_k:
-            tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))
-        else:
-            tb.emit(I.vle32(bld.V_ACC[r], bld.C_PTR[r]))
-    with tb.loop(slots_tile, label="nnz-slots"):
-        for r in range(size):
-            tb.emit(I.vmv_x_s(bld.T[r], bld.V_COLIDX[r]))
-        for r in range(size):
-            tb.emit(I.vindexmac_vx(bld.V_ACC[r], bld.V_VALUES[r], bld.T[r]))
-        for r in range(size):
-            tb.emit(I.vslide1down_vx(bld.V_VALUES[r], bld.V_VALUES[r], 0))
-        for r in range(size):
-            tb.emit(I.vslide1down_vx(bld.V_COLIDX[r], bld.V_COLIDX[r], 0))
-    for r in range(size):
-        tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))

@@ -15,46 +15,38 @@ inner loop is the paper's lines 7-12:
 
 Column indices are staged pre-scaled by B's row stride, so the paper's
 line 5 ("col_idx += B_address") is a single ``vadd.vx`` per loaded
-slice.  All three dataflows of Section IV-A are implemented; the paper
+slice.  All three dataflows of Section IV-A are schedulable; the paper
 (and our ablation A1) finds B-stationary fastest, so it is the default.
 
-:func:`trace_rowwise_spmm` builds the stream as a loop-annotated
-:class:`~repro.isa.trace.Trace` whose register-driven loops (unrolled
-row groups, k-tile walks, the per-non-zero inner loop) are marked
-steady for the compressed-replay timing backend.
+The emission lives in the schedule-driven compiler
+(:mod:`repro.kernels.compiler`): this module is the thin legacy entry
+point binding the ``rowwise-spmm`` spec (pre-scaled indices,
+memory-resident B, ``vfmacc`` compute) to the historical builder
+signatures.  Compiled traces are loop-annotated (unrolled row groups,
+k-tile walks and the per-non-zero loop are steady) and expand
+instruction-for-instruction identically to the historical hand-written
+streams (pinned by ``tests/test_compiler_golden.py``).
 """
 
 from __future__ import annotations
 
-from repro.errors import KernelError
-from repro.isa.instructions import I
-from repro.isa.trace import Trace, TraceBuilder
-from repro.kernels import builder as bld
+from repro.isa.trace import Trace
 from repro.kernels.builder import KernelOptions
-from repro.kernels.dataflow import Dataflow
+from repro.kernels.compiler import compile_trace
+from repro.kernels.compiler.spec import ROWWISE_SPEC
 from repro.kernels.layout import StagedSpMM
-
-KT_CTR = 30  # t5: inner k-tile counter (A-/C-stationary)
 
 
 def trace_rowwise_spmm(staged: StagedSpMM,
                        options: KernelOptions | None = None,
                        vlmax: int = 16) -> Trace:
-    """Build the loop-annotated trace of Algorithm 2."""
-    opt = options or KernelOptions()
-    if staged.k % opt.tile_rows:
-        raise KernelError(
-            f"K={staged.k} is not a multiple of L={opt.tile_rows}")
-    tb = TraceBuilder()
-    if opt.dataflow is Dataflow.B_STATIONARY:
-        _b_stationary(tb, staged, opt, vlmax)
-    elif opt.dataflow is Dataflow.C_STATIONARY:
-        _c_stationary(tb, staged, opt, vlmax)
-    elif opt.dataflow is Dataflow.A_STATIONARY:
-        _a_stationary(tb, staged, opt, vlmax)
-    else:  # pragma: no cover - defensive
-        raise KernelError(f"unknown dataflow {opt.dataflow!r}")
-    return tb.build()
+    """Build the loop-annotated trace of Algorithm 2.
+
+    ``options`` accepts legacy :class:`KernelOptions` or a compiler
+    :class:`~repro.kernels.compiler.Schedule` (which carries its own
+    ``vlmax``).
+    """
+    return compile_trace(ROWWISE_SPEC, staged, options, vlmax=vlmax)
 
 
 def build_rowwise_spmm(staged: StagedSpMM,
@@ -62,212 +54,3 @@ def build_rowwise_spmm(staged: StagedSpMM,
                        vlmax: int = 16):
     """Generate the dynamic instruction stream of Algorithm 2."""
     yield from trace_rowwise_spmm(staged, options, vlmax).instructions()
-
-
-# ----------------------------------------------------------------------
-# B-stationary: jt -> kt -> i   (same loop nest as the proposed kernel)
-# ----------------------------------------------------------------------
-def _b_stationary(tb: TraceBuilder, staged: StagedSpMM, opt: KernelOptions,
-                  vlmax: int) -> None:
-    tile = opt.tile_rows
-    slots_tile = staged.slots_per_tile(tile)
-    k_tiles = staged.num_k_tiles(tile)
-    col_tiles = staged.num_col_tiles(vlmax)
-
-    tb.emit(bld.set_vl(vlmax))
-    for jt in range(col_tiles):
-        col_off = jt * 4 * vlmax
-        for kt in range(k_tiles):
-            # line 5 of Algorithm 2: addresses = scaled col_idx + base
-            tb.emit(bld.li_addr(bld.XFORM, staged.b_addr + col_off))
-            first_k = kt == 0 and opt.init_c_zero
-            a_off = kt * slots_tile * 4
-
-            groups = list(bld.row_groups(staged.rows, opt.unroll))
-            main = [g for g in groups if g[1] == opt.unroll]
-            rest = groups[len(main):]
-            if main:
-                size = opt.unroll
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.VAL_PTR[r],
-                        staged.values_addr + r * staged.a_row_stride
-                        + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.IDX_PTR[r],
-                        staged.col_idx_scaled_addr
-                        + r * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.C_PTR[r],
-                        staged.c_addr + r * staged.c_row_stride + col_off))
-                tb.emit(bld.li(bld.A_BUMP, size * staged.a_row_stride))
-                tb.emit(bld.li(bld.C_BUMP, size * staged.c_row_stride))
-                tb.emit(bld.li(bld.ROW_CTR, len(main)))
-                with tb.loop(len(main), label="row-groups"):
-                    _emit_group_body(tb, size, slots_tile, first_k)
-                    for r in range(size):
-                        tb.emit(I.add(bld.VAL_PTR[r], bld.VAL_PTR[r],
-                                      bld.A_BUMP),
-                                I.add(bld.IDX_PTR[r], bld.IDX_PTR[r],
-                                      bld.A_BUMP),
-                                I.add(bld.C_PTR[r], bld.C_PTR[r],
-                                      bld.C_BUMP))
-                    tb.emit(bld.loop_control(bld.ROW_CTR))
-            for start, size in rest:
-                for r in range(size):
-                    tb.emit(bld.li_addr(
-                        bld.VAL_PTR[r],
-                        staged.values_addr
-                        + (start + r) * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.IDX_PTR[r],
-                        staged.col_idx_scaled_addr
-                        + (start + r) * staged.a_row_stride + a_off))
-                    tb.emit(bld.li_addr(
-                        bld.C_PTR[r],
-                        staged.c_addr
-                        + (start + r) * staged.c_row_stride + col_off))
-                _emit_group_body(tb, size, slots_tile, first_k)
-
-
-def _emit_group_body(tb: TraceBuilder, size: int, slots_tile: int,
-                     first_k: bool, val_regs=bld.V_VALUES,
-                     idx_regs=bld.V_COLIDX, load_a: bool = True) -> None:
-    """One unroll group of the baseline inner computation."""
-    if load_a:
-        for r in range(size):
-            tb.emit(I.vle32(val_regs[r], bld.VAL_PTR[r]))
-        for r in range(size):
-            tb.emit(I.vle32(idx_regs[r], bld.IDX_PTR[r]))
-        for r in range(size):
-            tb.emit(I.vadd_vx(idx_regs[r], idx_regs[r], bld.XFORM))
-    for r in range(size):
-        if first_k:
-            tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))
-        else:
-            tb.emit(I.vle32(bld.V_ACC[r], bld.C_PTR[r]))
-    _emit_inner_loop(tb, size, slots_tile, val_regs, idx_regs)
-    for r in range(size):
-        tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))
-
-
-def _emit_inner_loop(tb: TraceBuilder, size: int, slots_tile: int,
-                     val_regs=bld.V_VALUES, idx_regs=bld.V_COLIDX) -> None:
-    """Lines 7-12 of Algorithm 2, unrolled over ``size`` output rows."""
-    with tb.loop(slots_tile, label="nnz-slots"):
-        for r in range(size):
-            tb.emit(I.vmv_x_s(bld.T[r], idx_regs[r]))
-        for r in range(size):
-            tb.emit(I.vle32(bld.V_BROW[r], bld.T[r]))
-        for r in range(size):
-            tb.emit(I.vfmv_f_s(bld.FA[r], val_regs[r]))
-        for r in range(size):
-            tb.emit(I.vfmacc_vf(bld.V_ACC[r], bld.FA[r], bld.V_BROW[r]))
-        for r in range(size):
-            tb.emit(I.vslide1down_vx(val_regs[r], val_regs[r], 0))
-        for r in range(size):
-            tb.emit(I.vslide1down_vx(idx_regs[r], idx_regs[r], 0))
-
-
-# ----------------------------------------------------------------------
-# C-stationary: i -> jt -> kt   (C never reloaded; B locality sacrificed)
-# ----------------------------------------------------------------------
-def _c_stationary(tb: TraceBuilder, staged: StagedSpMM, opt: KernelOptions,
-                  vlmax: int) -> None:
-    tile = opt.tile_rows
-    slots_tile = staged.slots_per_tile(tile)
-    k_tiles = staged.num_k_tiles(tile)
-    col_tiles = staged.num_col_tiles(vlmax)
-    bump = slots_tile * 4
-
-    tb.emit(bld.set_vl(vlmax))
-    for start, size in bld.row_groups(staged.rows, opt.unroll):
-        for jt in range(col_tiles):
-            col_off = jt * 4 * vlmax
-            tb.emit(bld.li_addr(bld.XFORM, staged.b_addr + col_off))
-            for r in range(size):
-                tb.emit(bld.li_addr(
-                    bld.VAL_PTR[r],
-                    staged.values_addr + (start + r) * staged.a_row_stride))
-                tb.emit(bld.li_addr(
-                    bld.IDX_PTR[r],
-                    staged.col_idx_scaled_addr
-                    + (start + r) * staged.a_row_stride))
-                tb.emit(bld.li_addr(
-                    bld.C_PTR[r],
-                    staged.c_addr
-                    + (start + r) * staged.c_row_stride + col_off))
-                tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))  # C-stationary: once
-            tb.emit(bld.li(KT_CTR, k_tiles))
-            with tb.loop(k_tiles, label="k-tiles"):
-                for r in range(size):
-                    tb.emit(I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r]))
-                for r in range(size):
-                    tb.emit(I.vle32(bld.V_COLIDX[r], bld.IDX_PTR[r]))
-                for r in range(size):
-                    tb.emit(I.vadd_vx(bld.V_COLIDX[r], bld.V_COLIDX[r],
-                                      bld.XFORM))
-                _emit_inner_loop(tb, size, slots_tile)
-                for r in range(size):
-                    tb.emit(I.addi(bld.VAL_PTR[r], bld.VAL_PTR[r], bump),
-                            I.addi(bld.IDX_PTR[r], bld.IDX_PTR[r], bump))
-                tb.emit(bld.loop_control(KT_CTR))
-            for r in range(size):
-                tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))
-
-
-# ----------------------------------------------------------------------
-# A-stationary: kt -> i -> jt   (A slice loaded once, copied per jt)
-# ----------------------------------------------------------------------
-def _a_stationary(tb: TraceBuilder, staged: StagedSpMM, opt: KernelOptions,
-                  vlmax: int) -> None:
-    tile = opt.tile_rows
-    slots_tile = staged.slots_per_tile(tile)
-    k_tiles = staged.num_k_tiles(tile)
-    col_tiles = staged.num_col_tiles(vlmax)
-
-    tb.emit(bld.set_vl(vlmax))
-    for kt in range(k_tiles):
-        a_off = kt * slots_tile * 4
-        first_k = kt == 0 and opt.init_c_zero
-        for start, size in bld.row_groups(staged.rows, opt.unroll):
-            # load the A slice once per (kt, row group)
-            for r in range(size):
-                tb.emit(bld.li_addr(
-                    bld.VAL_PTR[r],
-                    staged.values_addr
-                    + (start + r) * staged.a_row_stride + a_off))
-                tb.emit(bld.li_addr(
-                    bld.IDX_PTR[r],
-                    staged.col_idx_scaled_addr
-                    + (start + r) * staged.a_row_stride + a_off))
-                tb.emit(I.vle32(bld.V_VALUES[r], bld.VAL_PTR[r]),
-                        I.vle32(bld.V_COLIDX[r], bld.IDX_PTR[r]))
-            for r in range(size):
-                tb.emit(bld.li_addr(
-                    bld.C_PTR[r],
-                    staged.c_addr + (start + r) * staged.c_row_stride))
-            for jt in range(col_tiles):
-                col_off = jt * 4 * vlmax
-                tb.emit(bld.li_addr(bld.XFORM, staged.b_addr + col_off))
-                # working copies (the inner loop destroys them by sliding)
-                for r in range(size):
-                    tb.emit(I.vmv_v_v(bld.V_SCRATCH_VAL[r],
-                                      bld.V_VALUES[r]))
-                for r in range(size):
-                    tb.emit(I.vmv_v_v(bld.V_SCRATCH_IDX[r],
-                                      bld.V_COLIDX[r]))
-                for r in range(size):
-                    tb.emit(I.vadd_vx(bld.V_SCRATCH_IDX[r],
-                                      bld.V_SCRATCH_IDX[r], bld.XFORM))
-                for r in range(size):
-                    if first_k:
-                        tb.emit(I.vmv_v_i(bld.V_ACC[r], 0))
-                    else:
-                        tb.emit(I.vle32(bld.V_ACC[r], bld.C_PTR[r]))
-                _emit_inner_loop(tb, size, slots_tile,
-                                 bld.V_SCRATCH_VAL, bld.V_SCRATCH_IDX)
-                for r in range(size):
-                    tb.emit(I.vse32(bld.V_ACC[r], bld.C_PTR[r]))
-                for r in range(size):
-                    tb.emit(I.addi(bld.C_PTR[r], bld.C_PTR[r], 4 * vlmax))

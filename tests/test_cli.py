@@ -83,6 +83,41 @@ def test_quickcheck_parallel(capsys):
     assert "FAIL" not in out
 
 
+def test_tune_synthetic_writes_schedule_and_table(capsys, tmp_path):
+    out = tmp_path / "tuned.json"
+    table = tmp_path / "tuning.txt"
+    code, text = run_cli(capsys, "tune", "--shape", "8", "32", "16",
+                         "--check", "--out", str(out),
+                         "--table-out", str(table))
+    assert code == 0
+    assert "Schedule tuning" in text
+    assert "FAIL" not in text
+    assert "Schedule tuning" in table.read_text()
+    from repro.eval.tuning import load_tuned_schedule
+
+    schedule = load_tuned_schedule(out)
+    assert schedule.tile_rows > 0
+
+
+def test_tune_rejects_bad_nm(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["tune", "--nm", "quarter", "--shape", "8", "32", "16",
+              "--out", "", "--table-out", ""])
+
+
+def test_fig4_accepts_tuned_schedule(capsys, tmp_path):
+    import json
+
+    from repro.kernels import Schedule
+
+    path = tmp_path / "schedule.json"
+    path.write_text(json.dumps({"schedule": Schedule().to_dict()}))
+    code, out = run_cli(capsys, "fig4", "--policy", "tiny",
+                        "--schedule", str(path))
+    assert code == 0
+    assert "Fig. 4" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -270,3 +270,107 @@ def test_cache_schema_was_bumped_for_backends():
     from repro.eval.engine import CACHE_SCHEMA
 
     assert CACHE_SCHEMA >= 2
+
+
+# ----------------------------------------------------------------------
+# Schedules in the cache identity (the autotuner's sweep points must
+# never alias each other, or the legacy-options jobs)
+# ----------------------------------------------------------------------
+def test_schedule_is_part_of_the_job_hash():
+    from repro.kernels import KernelOptions, Schedule
+
+    default = tiny_job()
+    assert default.schedule == Schedule()  # lifted from default options
+    tuned = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                             config=CFG,
+                             schedule=Schedule(tile_rows=8, unroll=2))
+    assert job_hash(default) != job_hash(tuned)
+    # options are overwritten with the schedule's projection, so the
+    # two representations can never disagree inside the hash
+    assert tuned.options == KernelOptions(unroll=2, tile_rows=8)
+    # vlmax/b_residency live beyond KernelOptions but still key the
+    # cache (same legacy projection, different schedule -> new hash)
+    wide = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                            config=CFG, schedule=Schedule(vlmax=32))
+    assert wide.options == default.options
+    assert job_hash(wide) != job_hash(default)
+
+
+def test_schedule_accepted_through_the_options_argument():
+    """The tuner hands Schedules straight to the job constructors."""
+    from repro.kernels import Schedule
+
+    via_options = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                                   config=CFG,
+                                   options=Schedule(tile_rows=8))
+    via_schedule = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                                    config=CFG,
+                                    schedule=Schedule(tile_rows=8))
+    assert job_hash(via_options) == job_hash(via_schedule)
+    with pytest.raises(EngineError):
+        SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0, config=CFG,
+                         options=Schedule(tile_rows=8),
+                         schedule=Schedule(tile_rows=16))
+    # direct construction promotes the Schedule verbatim — fields the
+    # legacy options cannot express (vlmax) must not be dropped
+    direct = SimJob(kernel=PROPOSED, nm=(1, 4), config=CFG,
+                    options=Schedule(vlmax=32, tile_rows=8),
+                    shape=(8, 32, 32), seed=0)
+    assert direct.schedule.vlmax == 32
+    assert direct.options.tile_rows == 8
+    assert job_hash(direct) == job_hash(
+        SimJob(kernel=PROPOSED, nm=(1, 4), config=CFG,
+               schedule=Schedule(vlmax=32, tile_rows=8),
+               shape=(8, 32, 32), seed=0))
+
+
+def test_csr_job_honors_schedule_vlmax():
+    """CSR jobs key the cache by schedule, so the one knob the CSR
+    nest has (vlmax) must actually reach the kernel."""
+    from repro.kernels import Schedule
+
+    full = execute_job(tiny_job(kernel=CSR_KERNEL))
+    narrow = execute_job(
+        SimJob.for_shape(8, 32, 16, (1, 4), CSR_KERNEL, seed=0,
+                         config=CFG, schedule=Schedule(vlmax=8)))
+    assert full.verified and narrow.verified
+    # two 8-wide column tiles instead of one 16-wide: twice the
+    # per-row passes, so the dynamic stream must grow
+    assert narrow.stats.instructions > full.stats.instructions
+
+
+def test_schedule_vlmax_beyond_hardware_rejected():
+    """vsetvli would silently cap vl and corrupt results; the runner
+    must fail loudly instead."""
+    from repro.errors import KernelError
+    from repro.kernels import Schedule
+
+    for kernel in (PROPOSED, CSR_KERNEL):
+        job = SimJob.for_shape(8, 32, 32, (1, 4), kernel, seed=0,
+                               config=CFG, schedule=Schedule(vlmax=32))
+        with pytest.raises(KernelError):
+            execute_job(job)
+
+
+def test_legacy_options_job_matches_equivalent_schedule_job():
+    from repro.kernels import Dataflow, KernelOptions, Schedule
+
+    opt = KernelOptions(unroll=2, tile_rows=8,
+                        dataflow=Dataflow.B_STATIONARY)
+    legacy = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                              config=CFG, options=opt)
+    modern = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                              config=CFG,
+                              schedule=Schedule.from_options(opt))
+    assert job_hash(legacy) == job_hash(modern)
+
+
+def test_scheduled_job_executes_and_verifies():
+    from repro.kernels import Schedule
+
+    job = SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=0,
+                           config=CFG,
+                           schedule=Schedule(tile_rows=8, unroll=2))
+    run = execute_job(job)
+    assert run.verified
+    assert run.cycles > 0

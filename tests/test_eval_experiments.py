@@ -196,3 +196,49 @@ def test_sparsity_sweep():
     assert set(speedups) == {(1, 4), (2, 4), (1, 2)}
     assert all(s > 1.0 for s in speedups.values())
     assert "A5" in result.render()
+
+
+def test_paper_schedule_overrides():
+    from repro.eval.experiments import paper_schedule
+    from repro.kernels import Schedule
+
+    assert paper_schedule() == Schedule()
+    tuned = paper_schedule(tile_rows=8, vlmax=16)
+    assert tuned.tile_rows == 8 and tuned.unroll == 4
+
+
+def test_incompatible_tuned_schedule_falls_back_per_kernel():
+    """A rowwise-tuned winner (A-stationary, or L beyond the vreg
+    budget) must not crash the two-kernel comparison drivers: the
+    vindexmac jobs fall back to the paper default."""
+    from repro.eval.comparison import BASELINE, PROPOSED
+    from repro.eval.experiments import _applicable_options, paper_schedule
+    from repro.kernels import Dataflow, Schedule
+
+    a_stat = Schedule(dataflow=Dataflow.A_STATIONARY, tile_rows=16)
+    assert _applicable_options(BASELINE, a_stat, (1, 4)) == a_stat
+    assert _applicable_options(PROPOSED, a_stat, (1, 4)) == \
+        paper_schedule()
+    big = Schedule(tile_rows=32)  # exceeds 32 - 16 reserved vregs
+    assert _applicable_options(BASELINE, big, (1, 4)) == big
+    assert _applicable_options(PROPOSED, big, (1, 4)) == paper_schedule()
+    # beyond the Section III bound M*VL/N=32 at 4:8 -> both fall back
+    assert _applicable_options(BASELINE, Schedule(tile_rows=64),
+                               (4, 8)) == paper_schedule()
+    # legacy KernelOptions pass through untouched (ablation sweeps)
+    from repro.eval.experiments import paper_options
+
+    opts = paper_options(tile_rows=8)
+    assert _applicable_options(PROPOSED, opts, (1, 4)) is opts
+
+
+def test_fig4_runs_with_a_rowwise_tuned_schedule():
+    """End-to-end: an A-stationary tuned schedule drives the baseline
+    while the vindexmac side falls back, and the figure renders."""
+    from repro.eval import run_fig4
+    from repro.kernels import Dataflow, Schedule
+
+    result = run_fig4(policy=TINY, config=CFG, sparsities=((1, 4),),
+                      options=Schedule(dataflow=Dataflow.A_STATIONARY))
+    assert "Fig. 4" in result.render()
+    assert all(c.speedup > 0 for c in result.comparisons[(1, 4)])

@@ -1,0 +1,127 @@
+"""Tests for the schedule autotuner (`repro tune`)."""
+
+import json
+
+import pytest
+
+from repro.errors import EngineError, KernelError
+from repro.eval.comparison import BASELINE, PROPOSED
+from repro.eval.engine import ExperimentEngine
+from repro.eval.tuning import (
+    PAPER_SCHEDULE,
+    candidate_schedules,
+    load_tuned_schedule,
+    save_tuned_schedule,
+    tune,
+)
+from repro.kernels import Dataflow, Schedule, max_tile_rows
+
+
+# ----------------------------------------------------------------------
+# sweep-space construction
+# ----------------------------------------------------------------------
+def test_candidates_respect_the_section_iii_bounds():
+    for nm in ((1, 4), (2, 4), (2, 8)):
+        for kernel in (BASELINE, PROPOSED):
+            for s in candidate_schedules(kernel, nm):
+                assert s.tile_rows % nm[1] == 0
+                assert s.tile_rows <= max_tile_rows(*nm, 16)
+                if kernel == PROPOSED:
+                    assert s.tile_rows <= 16  # 32 vregs - 16 reserved
+                    assert s.dataflow is Dataflow.B_STATIONARY
+
+
+def test_candidates_sweep_all_dataflows_for_the_baseline():
+    dataflows = {s.dataflow for s in candidate_schedules(BASELINE, (1, 4))}
+    assert dataflows == set(Dataflow)
+
+
+def test_candidates_contain_the_paper_default():
+    assert PAPER_SCHEDULE in candidate_schedules(PROPOSED, (1, 4))
+
+
+# ----------------------------------------------------------------------
+# the sweep itself (tiny synthetic GEMM through a hermetic engine)
+# ----------------------------------------------------------------------
+SWEEP = [Schedule(tile_rows=8, unroll=2), Schedule(tile_rows=16, unroll=2),
+         PAPER_SCHEDULE]
+
+
+def test_tune_ranks_schedules_and_beats_or_matches_default(tmp_path):
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    result = tune(PROPOSED, (1, 4), shape=(8, 32, 16), schedules=SWEEP,
+                  engine=engine)
+    assert engine.counters.simulated == len(SWEEP)
+    assert len(result.points) == len(SWEEP)
+    assert result.default.schedule == PAPER_SCHEDULE
+    assert result.best.cycles == min(p.cycles for p in result.points)
+    assert result.best_beats_default
+    assert result.speedup_vs_default >= 1.0
+    rendered = result.render()
+    assert "Schedule tuning" in rendered
+    assert "vs default" in rendered
+
+
+def test_tune_appends_missing_default():
+    engine = ExperimentEngine(jobs=1, cache=False)
+    result = tune(PROPOSED, (1, 4), shape=(8, 32, 16),
+                  schedules=[Schedule(tile_rows=8)], engine=engine)
+    assert result.default.schedule == PAPER_SCHEDULE
+    assert len(result.points) == 2
+
+
+def test_tune_is_reproducibly_cached(tmp_path):
+    """The acceptance criterion: a second tuning run (fresh engine,
+    same cache dir) answers every sweep point from the disk cache."""
+    cold = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    first = tune(PROPOSED, (1, 4), shape=(8, 32, 16), schedules=SWEEP,
+                 engine=cold)
+    warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    second = tune(PROPOSED, (1, 4), shape=(8, 32, 16), schedules=SWEEP,
+                  engine=warm)
+    assert warm.counters.simulated == 0
+    assert warm.counters.disk_hits == len(SWEEP)
+    assert second.best.schedule == first.best.schedule
+    assert second.best.cycles == first.best.cycles
+
+
+def test_tune_needs_exactly_one_workload_source():
+    with pytest.raises(EngineError):
+        tune(PROPOSED, (1, 4))  # neither policy nor shape
+    with pytest.raises(KernelError):
+        tune(PROPOSED, (1, 4), shape=(8, 32, 16), schedules=[],
+             engine=ExperimentEngine(jobs=1, cache=False))
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def test_saved_schedule_round_trips(tmp_path):
+    engine = ExperimentEngine(jobs=1, cache=False)
+    result = tune(PROPOSED, (1, 4), shape=(8, 32, 16), schedules=SWEEP,
+                  engine=engine)
+    path = tmp_path / "tuned.json"
+    save_tuned_schedule(path, result)
+    payload = json.loads(path.read_text())
+    assert payload["kernel"] == PROPOSED
+    assert payload["schedule_cache_key"] == \
+        result.best.schedule.cache_key()
+    assert load_tuned_schedule(path) == result.best.schedule
+
+
+def test_load_accepts_bare_schedule_dict(tmp_path):
+    path = tmp_path / "bare.json"
+    path.write_text(json.dumps(Schedule(tile_rows=8).to_dict()))
+    assert load_tuned_schedule(path) == Schedule(tile_rows=8)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{ nope")
+    with pytest.raises(EngineError):
+        load_tuned_schedule(path)
+    with pytest.raises(EngineError):
+        load_tuned_schedule(tmp_path / "missing.json")
+    path.write_text("[1, 2]")
+    with pytest.raises(EngineError):
+        load_tuned_schedule(path)
