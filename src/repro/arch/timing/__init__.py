@@ -12,8 +12,15 @@ loop-annotated :class:`~repro.isa.trace.Trace`:
 Select a backend by name everywhere a simulation is launched —
 ``run_spmm(..., backend=...)``, ``SimJob(backend=...)``, the CLI's
 ``--backend`` flag, or the ``REPRO_BACKEND`` environment variable.
-Future backends (batched numpy timing, multi-core sharding) plug in via
+Future backends (batched numpy timing) plug in via
 :func:`register_backend`.
+
+Multi-core sharded simulation is a *merge layer* on top of the
+backends, not a backend itself: :mod:`repro.arch.timing.multicore`
+combines the per-core :class:`BackendResult` streams that any inner
+backend produced into makespan cycles plus aggregated instruction/
+memory/energy counters, so it composes with both ``detailed`` and
+``compressed-replay`` (select cores via ``Schedule(cores=N)``).
 """
 
 from __future__ import annotations
@@ -23,6 +30,11 @@ import os
 from repro.arch.timing.base import BackendResult, TimingBackend
 from repro.arch.timing.compressed import CompressedReplayBackend
 from repro.arch.timing.detailed import DetailedBackend
+from repro.arch.timing.multicore import (
+    MULTICORE,
+    MulticoreResult,
+    merge_core_results,
+)
 from repro.errors import BackendError
 
 DETAILED = DetailedBackend.name
@@ -84,9 +96,12 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DETAILED",
     "DetailedBackend",
+    "MULTICORE",
+    "MulticoreResult",
     "TimingBackend",
     "available_backends",
     "get_backend",
+    "merge_core_results",
     "register_backend",
     "resolve_backend",
 ]

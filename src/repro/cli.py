@@ -8,9 +8,13 @@ Commands
 ``fig6``        normalized memory accesses (Fig. 6)
 ``ablations``   the A1-A5 design-space studies
 ``tune``        autotune the kernel schedule (tile rows, unroll,
-                dataflow) through the cached engine
+                dataflow, cores; optionally vlmax / init-C) through
+                the cached engine
 ``bench``       regenerate any subset of paper artifacts through the
                 experiment engine, with a progress/summary report
+``scaling``     multi-core sharding study (1/2/4/8-core speedup and
+                efficiency per model and N:M pattern)
+``cache``       inspect or clear the on-disk simulation result cache
 ``layers``      list a model's convolutions and GEMM shapes
 ``encode``      assemble one instruction and show its encoding
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
@@ -18,7 +22,9 @@ Commands
 
 The simulation commands accept ``--schedule FILE`` to run with a tuned
 kernel schedule produced by ``repro tune`` instead of the paper's
-hand-picked one.
+hand-picked one, and ``--cores N`` to shard every kernel's output rows
+across N simulated cores (per-core traces simulated in parallel by the
+engine's worker pool, merged into makespan cycles).
 
 Experiment engine
 -----------------
@@ -53,6 +59,7 @@ from repro.eval.experiments import (
     run_fig4,
     run_fig5,
     run_fig6,
+    run_scaling,
     run_sparsity_sweep,
     run_table1,
     run_tile_rows_ablation,
@@ -85,6 +92,10 @@ def _add_schedule_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--schedule", default=None, metavar="FILE",
                         help="JSON schedule from `repro tune` to use "
                              "instead of the paper default")
+    parser.add_argument("--cores", type=int, default=None, metavar="N",
+                        help="shard every kernel's output rows across "
+                             "N simulated cores (default: the "
+                             "schedule's core count, 1)")
 
 
 def _schedule(args):
@@ -95,6 +106,23 @@ def _schedule(args):
     from repro.eval.tuning import load_tuned_schedule
 
     return load_tuned_schedule(path)
+
+
+def _schedule_with_cores(args):
+    """The effective schedule of --schedule/--cores (None = paper
+    default single-core)."""
+    schedule = _schedule(args)
+    cores = getattr(args, "cores", None)
+    if cores is not None:
+        if cores < 1:
+            raise SystemExit(f"--cores must be a positive core count, "
+                             f"got {cores}")
+        from dataclasses import replace
+
+        from repro.eval.experiments import paper_schedule
+
+        schedule = replace(schedule or paper_schedule(), cores=cores)
+    return schedule
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -131,7 +159,7 @@ def cmd_fig4(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
     print(run_fig4(model=args.model, policy=policy, config=config,
-                   options=_schedule(args),
+                   options=_schedule_with_cores(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -140,7 +168,7 @@ def cmd_fig4(args) -> int:
 def cmd_fig5(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig5(policy=policy, config=config, options=_schedule(args),
+    print(run_fig5(policy=policy, config=config, options=_schedule_with_cores(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -149,7 +177,7 @@ def cmd_fig5(args) -> int:
 def cmd_fig6(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig6(policy=policy, config=config, options=_schedule(args),
+    print(run_fig6(policy=policy, config=config, options=_schedule_with_cores(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -206,7 +234,23 @@ ARTIFACTS = {
     "a5": ("A5 sparsity sweep", "ablation_sparsity",
            lambda policy, config, backend, options: run_sparsity_sweep(
                policy=policy, config=config, backend=backend)),
+    "scaling": ("Multi-core scaling", "scaling",
+                lambda policy, config, backend, options:
+                _scaling_artifact(policy, config, backend, options)),
 }
+
+
+def _scaling_artifact(policy, config, backend, options):
+    """The bench `scaling` driver honors --cores: an explicit core
+    count narrows the sweep to (1, N) instead of the default ladder."""
+    from repro.eval.experiments import DEFAULT_CORE_COUNTS
+    from repro.kernels import Schedule
+
+    core_counts = DEFAULT_CORE_COUNTS
+    if isinstance(options, Schedule) and options.cores > 1:
+        core_counts = (1, options.cores)
+    return run_scaling(policy=policy, config=config, backend=backend,
+                       options=options, core_counts=core_counts)
 
 
 def cmd_bench(args) -> int:
@@ -219,7 +263,7 @@ def cmd_bench(args) -> int:
     out_dir = Path(args.out)
     start_all = time.perf_counter()
     backend = _backend(args)
-    schedule = _schedule(args)
+    schedule = _schedule_with_cores(args)
     for i, name in enumerate(names, 1):
         title, stem, driver = ARTIFACTS[name]
         start = time.perf_counter()
@@ -260,7 +304,9 @@ def cmd_tune(args) -> int:
     if args.shape is not None:
         kwargs = dict(shape=tuple(args.shape), seed=args.seed)
     result = tune(args.kernel, _parse_nm(args.nm), config=config,
-                  backend=_backend(args), engine=engine, **kwargs)
+                  backend=_backend(args), engine=engine,
+                  cores=tuple(args.cores), sweep_vlmax=args.sweep_vlmax,
+                  sweep_init_c=args.sweep_init_c, **kwargs)
     text = result.render()
     # persist artifacts before printing: a closed stdout (broken pipe)
     # must not lose the tuning outcome
@@ -285,6 +331,54 @@ def cmd_tune(args) -> int:
             ok = False
         if not ok:
             return 1
+    return 0
+
+
+# ======================================================================
+# scaling — multi-core sharding study
+# ======================================================================
+def cmd_scaling(args) -> int:
+    policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
+    result = run_scaling(models=tuple(args.models), policy=policy,
+                         config=config, options=_schedule(args),
+                         core_counts=tuple(args.cores),
+                         kernel=args.kernel, backend=_backend(args))
+    text = result.render()
+    if args.table_out:
+        atomic_write_text(Path(args.table_out), text + "\n")
+    print(text)
+    print(f"\n[{engine.summary()}]")
+    if args.table_out:
+        print(f"scaling table -> {args.table_out}")
+    if args.check:
+        problems = result.check()
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        if problems:
+            return 1
+        top = max(result.core_counts)
+        print(f"scaling check ok: all results verified, every layer's "
+              f"makespan <= single-core cycles, >1x speedup at "
+              f"{top} cores")
+    return 0
+
+
+# ======================================================================
+# cache — inspect/clear the on-disk simulation result cache
+# ======================================================================
+def cmd_cache(args) -> int:
+    from repro.eval.engine import CACHE_SCHEMA, ResultCache
+
+    cache = ResultCache()
+    count, size = cache.usage()
+    print(f"cache dir:    {cache.root}")
+    print(f"cache schema: {CACHE_SCHEMA}")
+    print(f"entries:      {count}")
+    print(f"total size:   {size / 1024:.1f} KiB")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared:      {removed} entries")
     return 0
 
 
@@ -437,9 +531,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless every sweep point "
                         "verified and the winner beats or matches the "
                         "paper default schedule")
+    p.add_argument("--cores", nargs="+", type=int, default=[1],
+                   metavar="N",
+                   help="core counts to sweep alongside tile/unroll/"
+                        "dataflow (default: 1)")
+    p.add_argument("--sweep-vlmax", action="store_true",
+                   help="also sweep the vector length (vlmax, vlmax/2, "
+                        "vlmax/4)")
+    p.add_argument("--sweep-init-c", action="store_true",
+                   help="also sweep init_c_zero (zero-fill vs load of "
+                        "the first k-tile's accumulators)")
     _add_policy_arg(p)
     _add_engine_args(p)
     p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser(
+        "scaling",
+        help="multi-core sharding study (speedup/efficiency per model "
+             "and N:M pattern)")
+    p.add_argument("--models", nargs="+", default=list(list_models()),
+                   choices=list_models(),
+                   help="CNN models to scale (default: all)")
+    p.add_argument("--kernel", default="indexmac-spmm",
+                   choices=["rowwise-spmm", "indexmac-spmm"],
+                   help="kernel whose rows are sharded")
+    p.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4, 8],
+                   metavar="N",
+                   help="core counts to compare (1 is always included "
+                        "as the baseline; default: 1 2 4 8)")
+    p.add_argument("--schedule", default=None, metavar="FILE",
+                   help="JSON schedule from `repro tune` to shard "
+                        "instead of the paper default")
+    p.add_argument("--table-out",
+                   default="benchmarks/results/scaling.txt",
+                   metavar="FILE",
+                   help="where to archive the scaling table "
+                        "(empty string to skip)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless every result verified, "
+                        "every layer's multicore makespan <= its "
+                        "single-core cycles, and the top core count "
+                        "yields >1x speedup")
+    _add_policy_arg(p)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect (or clear) the on-disk simulation result cache")
+    p.add_argument("--clear", action="store_true",
+                   help="delete every cache entry after printing the "
+                        "summary")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("layers", help="list a model's conv layers")
     p.add_argument("model", choices=list_models())

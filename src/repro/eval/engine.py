@@ -47,7 +47,16 @@ from repro.arch.config import ProcessorConfig
 from repro.arch.stats import ExecutionStats
 from repro.arch.timing import resolve_backend
 from repro.errors import EngineError
-from repro.eval.runner import CSR_KERNEL, KernelRun, run_csr, run_spmm
+from repro.eval.runner import (
+    CSR_KERNEL,
+    KernelRun,
+    ShardRun,
+    merge_shard_runs,
+    run_csr,
+    run_csr_shard,
+    run_spmm,
+    run_spmm_shard,
+)
 from repro.kernels.builder import KernelOptions
 from repro.kernels.compiler import Schedule
 from repro.nn.models import get_model
@@ -61,7 +70,11 @@ from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 #: (including vlmax and B-tile residency, which the legacy
 #: ``KernelOptions`` cannot express) joins the job identity, so the
 #: autotuner's sweep points can never alias each other.
-CACHE_SCHEMA = 3
+#: Schema 4: multi-core sharded simulation — ``Schedule`` grew
+#: ``cores``/``shard`` fields (hashed via the schedule), and multicore
+#: results carry merged makespan stats that single-core entries must
+#: never answer.
+CACHE_SCHEMA = 4
 
 
 def default_cache_dir() -> Path:
@@ -124,6 +137,11 @@ class SimJob:
                 object.__setattr__(self, "schedule",
                                    Schedule.from_options(self.options))
         object.__setattr__(self, "options", self.schedule.to_options())
+        if self.schedule.shard is not None:
+            raise EngineError(
+                "SimJob describes a whole kernel execution; shard "
+                "selection (schedule.shard) is an engine-internal "
+                "execution detail — set cores=N and leave shard=None")
         layer_src = (self.model, self.layer, self.policy)
         shape_src = (self.shape, self.seed)
         if not ((all(v is not None for v in layer_src)
@@ -218,14 +236,49 @@ def job_operands(job: SimJob):
 
 
 def execute_job(job: SimJob) -> KernelRun:
-    """Run one job to completion (the worker-process entry point)."""
+    """Run one job to completion (multicore jobs fan in sequentially).
+
+    This is the whole-job worker entry point; the engine's pool path
+    additionally shards multicore jobs across workers via
+    :func:`execute_shard_job` + :func:`finish_multicore_job`, with
+    bit-identical results.
+    """
     a, b = job_operands(job)
     if job.kernel == CSR_KERNEL:
         return run_csr(a, b, config=job.config, verify=job.verify,
-                       backend=job.backend, vlmax=job.schedule.vlmax)
+                       backend=job.backend, schedule=job.schedule)
     return run_spmm(a, b, job.kernel, schedule=job.schedule,
                     config=job.config, verify=job.verify,
                     backend=job.backend)
+
+
+def execute_shard_job(job: SimJob, shard: int) -> ShardRun:
+    """Run one core's shard of a multicore job (worker entry point)."""
+    a, b = job_operands(job)
+    if job.kernel == CSR_KERNEL:
+        return run_csr_shard(a, b, job.schedule, shard, config=job.config,
+                             backend=job.backend)
+    return run_spmm_shard(a, b, job.kernel, job.schedule, shard,
+                          config=job.config, backend=job.backend)
+
+
+def finish_multicore_job(job: SimJob, shards) -> KernelRun:
+    """Merge a multicore job's shard results (stitch C, verify, merge
+    per-core cycle streams into makespan + aggregated counters)."""
+    a = b = None
+    if job.verify:
+        a, b = job_operands(job)
+    return merge_shard_runs(job.kernel, shards, job.backend,
+                            a=a, b=b, verify=job.verify)
+
+
+def _execute_task(task) -> "KernelRun | ShardRun":
+    """Pool entry point: a task is (job, shard) with shard=None meaning
+    the whole job."""
+    job, shard = task
+    if shard is None:
+        return execute_job(job)
+    return execute_shard_job(job, shard)
 
 
 # ======================================================================
@@ -279,6 +332,34 @@ class ResultCache:
             except OSError:
                 pass
             return None
+
+    def entries(self) -> list[Path]:
+        """Every cache entry file currently on disk (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def usage(self) -> tuple[int, int]:
+        """(entry count, total bytes) of the on-disk cache."""
+        count = size = 0
+        for path in self.entries():
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, size
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def store(self, key: str, job: SimJob, run: KernelRun) -> None:
         payload = {
@@ -376,17 +457,45 @@ class ExperimentEngine:
         return [self._memo[key] for key in keys]
 
     def _execute(self, jobs: list[SimJob]) -> list[KernelRun]:
-        if self.jobs > 1 and len(jobs) > 1:
+        """Execute jobs, fanning multicore jobs out shard-by-shard.
+
+        A job with ``schedule.cores = N > 1`` becomes N shard tasks, so
+        the worker pool simulates the N cores truly in parallel (even
+        for a single multicore job); the shard results are then merged
+        back into one :class:`KernelRun` per job, bit-identical to the
+        sequential in-process path.
+        """
+        tasks: list[tuple[int, int | None]] = []
+        for index, job in enumerate(jobs):
+            cores = job.schedule.cores
+            if cores > 1:
+                tasks.extend((index, shard) for shard in range(cores))
+            else:
+                tasks.append((index, None))
+        payloads = [(jobs[index], shard) for index, shard in tasks]
+        outputs = None
+        if self.jobs > 1 and len(payloads) > 1:
             try:
-                workers = min(self.jobs, len(jobs))
-                chunk = max(1, len(jobs) // (workers * 4))
+                workers = min(self.jobs, len(payloads))
+                chunk = max(1, len(payloads) // (workers * 4))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(execute_job, jobs,
-                                         chunksize=chunk))
+                    outputs = list(pool.map(_execute_task, payloads,
+                                            chunksize=chunk))
             except (OSError, BrokenProcessPool, ImportError):
                 # sandboxes without fork/semaphores: degrade gracefully
-                pass
-        return [execute_job(job) for job in jobs]
+                outputs = None
+        if outputs is None:
+            outputs = [_execute_task(payload) for payload in payloads]
+        results: list[KernelRun | None] = [None] * len(jobs)
+        shards: dict[int, list[ShardRun]] = {}
+        for (index, shard), output in zip(tasks, outputs):
+            if shard is None:
+                results[index] = output
+            else:
+                shards.setdefault(index, []).append(output)
+        for index, shard_runs in shards.items():
+            results[index] = finish_multicore_job(jobs[index], shard_runs)
+        return results
 
     # -- reporting -----------------------------------------------------
     def summary(self) -> str:

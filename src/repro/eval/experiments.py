@@ -13,7 +13,7 @@ policy, config, options) within the process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -97,7 +97,9 @@ def _applicable_options(kernel: str, options, nm: tuple[int, int]):
         elif schedule.tile_rows > max_tile_rows(*nm, schedule.vlmax):
             raise KernelError("tile exceeds the Section III bound")
     except KernelError:
-        return paper_schedule()
+        # keep the requested core count: sharding applies to every
+        # kernel even when the tuned layout knobs do not
+        return replace(paper_schedule(), cores=options.cores)
     # hand back the ORIGINAL schedule (not the normalized copy) so the
     # job hash matches what the caller persisted; the compiler
     # re-normalizes at lowering time
@@ -337,6 +339,145 @@ def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
                 _legacy_options(_applicable_options(PROPOSED, options, nm)))
     return Fig6Result(policy=policy.name, simulated=simulated,
                       analytic_full=analytic)
+
+
+# ======================================================================
+# Multi-core scaling (extension: ROADMAP "Multi-core sharding")
+# ======================================================================
+#: Core counts of the scaling study (1 is the baseline the speedups
+#: are normalized to).
+DEFAULT_CORE_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class ScalingResult:
+    """Multi-core strong-scaling study of one kernel across CNNs.
+
+    ``totals`` holds weighted whole-model makespan-cycle totals
+    (multiplicity x scale factor, like Fig. 5); ``layers`` keeps the
+    per-layer makespans for the acceptance gate (every layer's
+    N-core makespan must not exceed its single-core cycles).
+    """
+
+    policy: str
+    kernel: str
+    backend: str
+    core_counts: tuple[int, ...]
+    #: {(model, nm): {cores: weighted total makespan cycles}}
+    totals: dict[tuple[str, tuple[int, int]], dict[int, float]]
+    #: {(model, nm): [(layer_name, {cores: makespan cycles}), ...]}
+    layers: dict[tuple[str, tuple[int, int]], list]
+    #: whether every simulated result matched the numpy reference
+    all_verified: bool = True
+
+    def speedup(self, model: str, nm: tuple[int, int],
+                cores: int) -> float:
+        per_cores = self.totals[(model, nm)]
+        return per_cores[1] / per_cores[cores]
+
+    def efficiency(self, model: str, nm: tuple[int, int],
+                   cores: int) -> float:
+        """Parallel efficiency: speedup / cores (1.0 = linear)."""
+        return self.speedup(model, nm, cores) / cores
+
+    def check(self) -> list[str]:
+        """Gate problems (empty = pass): unverified results, a layer
+        whose N-core makespan exceeds its single-core cycles, or a
+        model whose top-core-count speedup is not > 1x."""
+        problems = []
+        if not self.all_verified:
+            problems.append("a simulated result failed verification")
+        for (model, nm), rows in self.layers.items():
+            for layer, per_cores in rows:
+                single = per_cores[1]
+                for cores, cycles in per_cores.items():
+                    if cycles > single:
+                        problems.append(
+                            f"{model} {nm[0]}:{nm[1]} {layer}: "
+                            f"{cores}-core makespan {cycles:,.0f} exceeds "
+                            f"single-core {single:,.0f}")
+        top = max(self.core_counts)
+        if top > 1:
+            for model, nm in self.totals:
+                if self.speedup(model, nm, top) <= 1.0:
+                    problems.append(
+                        f"{model} {nm[0]}:{nm[1]}: no speedup at "
+                        f"{top} cores")
+        return problems
+
+    def render(self) -> str:
+        multi = [c for c in self.core_counts if c > 1]
+        headers = ["CNN", "N:M", "1-core cycles"]
+        headers += [f"{c}-core speedup (eff)" for c in multi]
+        rows = []
+        for (model, nm), per_cores in sorted(self.totals.items()):
+            row = [MODEL_NAMES.get(model, model), f"{nm[0]}:{nm[1]}",
+                   per_cores[1]]
+            for cores in multi:
+                row.append(f"{self.speedup(model, nm, cores):.2f}x "
+                           f"({pct(self.efficiency(model, nm, cores))})")
+            rows.append(row)
+        cores_txt = "/".join(str(c) for c in self.core_counts)
+        title = (f"Multi-core scaling — {self.kernel} sharded across "
+                 f"{cores_txt} cores [{self.backend}] "
+                 f"(row-space sharding, makespan cycles, "
+                 f"policy {self.policy!r})")
+        return format_table(headers, rows, title=title)
+
+
+def run_scaling(models=paper.MODELS, policy: ScalePolicy = SMALL,
+                config: ProcessorConfig | None = None,
+                options: KernelOptions | Schedule | None = None,
+                core_counts=DEFAULT_CORE_COUNTS,
+                kernel: str = PROPOSED,
+                sparsities=paper.SPARSITIES, verify: bool = True,
+                backend: str | None = None) -> ScalingResult:
+    """Shard every layer of every model across 1..N simulated cores.
+
+    All (model, nm, layer, cores) simulations go through the engine as
+    one batch, so multicore shards fan out across the worker pool and
+    re-renders are answered from the cache.
+    """
+    config = config or ProcessorConfig.scaled_default()
+    backend = resolve_backend(backend)
+    core_counts = tuple(sorted(set(core_counts) | {1}))
+    base = (options if isinstance(options, Schedule)
+            else Schedule.from_options(options) if options is not None
+            else paper_schedule())
+    jobs, meta = [], []
+    for model in models:
+        for nm in sparsities:
+            schedule = _applicable_options(kernel, base, nm)
+            if not isinstance(schedule, Schedule):
+                schedule = Schedule.from_options(schedule)
+            layers = list(unique_gemm_layers(get_model(model)))
+            for layer, mult in layers:
+                scaled = padded_gemm(layer.gemm, *nm, policy=policy,
+                                     tile_rows=schedule.tile_rows)
+                weight = mult * (layer.gemm.macs / scaled.macs)
+                for cores in core_counts:
+                    jobs.append(SimJob.for_layer(
+                        model, layer.name, nm, policy, kernel,
+                        schedule=replace(schedule, cores=cores),
+                        config=config, verify=verify, backend=backend))
+                    meta.append((model, nm, layer.name, weight, cores))
+    runs = get_engine().run(jobs)
+    totals: dict = {}
+    layers_out: dict = {}
+    all_verified = True
+    layer_cycles: dict = {}
+    for (model, nm, layer, weight, cores), run in zip(meta, runs):
+        key = (model, nm)
+        totals.setdefault(key, {c: 0.0 for c in core_counts})
+        totals[key][cores] += weight * run.stats.cycles
+        layer_cycles.setdefault((key, layer), {})[cores] = run.stats.cycles
+        all_verified &= run.verified or not verify
+    for (key, layer), per_cores in layer_cycles.items():
+        layers_out.setdefault(key, []).append((layer, per_cores))
+    return ScalingResult(policy=policy.name, kernel=kernel,
+                         backend=backend, core_counts=core_counts,
+                         totals=totals, layers=layers_out,
+                         all_verified=all_verified)
 
 
 # ======================================================================

@@ -1,4 +1,17 @@
-"""Run kernels on the simulated processor and collect results."""
+"""Run kernels on the simulated processor and collect results.
+
+Single-core runs stage the operands once, compile one trace, and time
+it with the selected backend.  Multi-core runs (``Schedule(cores=N)``)
+shard the output-row space: each simulated core gets its own processor
+(private caches + staged operand copy) and a per-shard trace compiled
+with ``schedule.for_shard(i)``; the per-core cycle streams are merged
+by :mod:`repro.arch.timing.multicore` into makespan cycles plus
+aggregated counters, and the per-core ``C`` row slices are stitched
+back together and verified as one matrix.  The experiment engine
+(:mod:`repro.eval.engine`) fans the per-shard executions out across
+its worker-process pool; the in-process path here runs them
+sequentially with identical results.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +22,13 @@ import numpy as np
 from repro.arch.config import ProcessorConfig
 from repro.arch.processor import DecoupledProcessor
 from repro.arch.stats import ExecutionStats
-from repro.arch.timing import DETAILED, get_backend, resolve_backend
+from repro.arch.timing import (
+    DETAILED,
+    BackendResult,
+    get_backend,
+    merge_core_results,
+    resolve_backend,
+)
 from repro.errors import KernelError, SimulationError
 from repro.kernels.builder import KernelOptions
 from repro.kernels.compiler import Schedule
@@ -38,6 +57,27 @@ class KernelRun:
         instructions`` for the ``detailed`` backend)."""
         return self.stats.extra.get("timed_instructions",
                                     self.stats.instructions)
+
+    @property
+    def cores(self) -> int:
+        """Simulated cores that produced this result (1 = single-core)."""
+        return self.stats.extra.get("cores", 1)
+
+
+@dataclass(frozen=True)
+class ShardRun:
+    """One core's slice of a sharded kernel execution."""
+
+    kernel: str
+    shard: int           #: core index in ``range(schedule.cores)``
+    row_start: int       #: first output row this core owns
+    row_count: int       #: rows this core computed (may be 0)
+    result: BackendResult
+    c: np.ndarray        #: this core's C rows, (row_count, n_cols)
+
+    @property
+    def cycles(self) -> float:
+        return self.result.stats.cycles
 
 
 def _check_vlmax(kernel: str, vlmax: int, config: ProcessorConfig) -> None:
@@ -69,6 +109,71 @@ def _verify_result(kernel: str, got: np.ndarray, a: NMSparseMatrix,
             f"(max abs error {worst:.3e})")
 
 
+def _resolve_schedule(options, schedule) -> Schedule:
+    if schedule is not None:
+        return schedule
+    return (options if isinstance(options, Schedule)
+            else Schedule.from_options(options))
+
+
+# ======================================================================
+# N:M structured-sparse kernels (Algorithms 2 and 3)
+# ======================================================================
+def run_spmm_shard(a: NMSparseMatrix, b: np.ndarray, kernel: str,
+                   schedule: Schedule, shard: int,
+                   config: ProcessorConfig | None = None,
+                   backend: str | None = None) -> ShardRun:
+    """Execute one core's shard of ``C = A x B`` on a private processor.
+
+    The core stages the full operands (its own memory image), but the
+    compiled trace walks only shard ``shard``'s slice of the output
+    rows; the returned :class:`ShardRun` carries exactly those C rows.
+    """
+    from repro.kernels.compiler.tiling import shard_rows
+
+    backend = resolve_backend(backend)
+    config = config or ProcessorConfig.scaled_default()
+    _check_vlmax(kernel, schedule.vlmax, config)
+    proc = DecoupledProcessor(config)
+    staged = stage_spmm(proc.mem, a, b)
+    trace = get_trace_kernel(kernel)(staged, schedule.for_shard(shard))
+    result = get_backend(backend).run(proc, trace)
+    start, count = shard_rows(staged.rows, schedule.cores)[shard]
+    c = read_result(proc.mem, staged)[start:start + count].copy()
+    return ShardRun(kernel=kernel, shard=shard, row_start=start,
+                    row_count=count, result=result, c=c)
+
+
+def merge_shard_runs(kernel: str, shards, backend: str,
+                     a: NMSparseMatrix | None = None,
+                     b: np.ndarray | None = None,
+                     verify: bool = True) -> KernelRun:
+    """Stitch per-core shards into one verified :class:`KernelRun`.
+
+    Shards are reordered by core index, their C row slices are
+    concatenated back into the full output matrix (verified against the
+    numpy reference when ``verify``), and the per-core timing results
+    are merged into makespan cycles + aggregated counters by
+    :func:`repro.arch.timing.multicore.merge_core_results`.
+    """
+    shards = sorted(shards, key=lambda s: s.shard)
+    if [s.shard for s in shards] != list(range(len(shards))):
+        raise SimulationError(
+            f"kernel {kernel!r}: incomplete shard set "
+            f"{[s.shard for s in shards]}")
+    merged = merge_core_results([s.result for s in shards], backend)
+    verified = False
+    if verify:
+        if a is None or b is None:
+            raise SimulationError(
+                "merge_shard_runs needs the operands to verify")
+        c = np.vstack([s.c for s in shards])
+        _verify_result(kernel, c, a, b)
+        verified = True
+    return KernelRun(kernel=kernel, stats=merged.merged.stats,
+                     verified=verified, backend=backend)
+
+
 def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
              options: KernelOptions | Schedule | None = None,
              config: ProcessorConfig | None = None,
@@ -82,13 +187,22 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     accepts either legacy :class:`KernelOptions` or a Schedule.
     ``backend`` selects the timing model (``None`` resolves via
     ``$REPRO_BACKEND``, default ``detailed``); functional results are
-    bit-exact under every backend, so verification is identical.
+    bit-exact under every backend, so verification is identical.  A
+    schedule with ``cores=N > 1`` shards the output rows across N
+    simulated cores and returns the merged multicore result.
     """
-    if schedule is None:
-        schedule = (options if isinstance(options, Schedule)
-                    else Schedule.from_options(options))
+    schedule = _resolve_schedule(options, schedule)
+    if schedule.shard is not None:
+        raise KernelError(
+            "run_spmm executes whole kernels; for one core's slice use "
+            "run_spmm_shard (shard selection is an execution detail)")
     backend = resolve_backend(backend)
     config = config or ProcessorConfig.scaled_default()
+    if schedule.cores > 1:
+        shards = [run_spmm_shard(a, b, kernel, schedule, i, config=config,
+                                 backend=backend)
+                  for i in range(schedule.cores)]
+        return merge_shard_runs(kernel, shards, backend, a, b, verify)
     _check_vlmax(kernel, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
@@ -107,19 +221,23 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
 CSR_KERNEL = "csr-spmm"
 
 
-def run_csr(a: NMSparseMatrix, b: np.ndarray,
-            config: ProcessorConfig | None = None,
-            verify: bool = True,
-            backend: str | None = None,
-            vlmax: int = 16) -> KernelRun:
-    """Run the unstructured-CSR kernel on the same operands.
+def _csr_schedule(schedule: Schedule | None, vlmax: int = 16) -> Schedule:
+    """Project a job schedule onto the knobs the CSR nest has.
 
-    The N:M matrix is re-encoded as plain CSR (identical values and
-    density), staged through the CSR layout, and executed with the
-    format's own kernel — the A4 ablation's equal-density baseline.
-    ``vlmax`` is the only schedule knob the CSR nest has (no tiling,
-    no unrolling); the engine threads it through from the job schedule.
+    The CSR kernel has no tiling/unroll/dataflow choice — only the
+    vector length and, now, the core count reach it.
     """
+    if schedule is None:
+        return Schedule(vlmax=vlmax)
+    return Schedule(vlmax=schedule.vlmax, cores=schedule.cores,
+                    shard=schedule.shard)
+
+
+def run_csr_shard(a: NMSparseMatrix, b: np.ndarray, schedule: Schedule,
+                  shard: int, config: ProcessorConfig | None = None,
+                  backend: str | None = None) -> ShardRun:
+    """One core's shard of the unstructured-CSR baseline."""
+    from repro.kernels.compiler.tiling import shard_rows
     from repro.kernels.spmm_csr import (
         read_csr_result,
         stage_csr,
@@ -129,11 +247,59 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
 
     backend = resolve_backend(backend)
     config = config or ProcessorConfig.scaled_default()
-    _check_vlmax(CSR_KERNEL, vlmax, config)
+    schedule = _csr_schedule(schedule)
+    _check_vlmax(CSR_KERNEL, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
     csr = CSRMatrix.from_dense(a.to_dense())
     staged = stage_csr(proc.mem, csr, b)
-    result = get_backend(backend).run(proc, trace_csr_spmm(staged, vlmax))
+    trace = trace_csr_spmm(staged, schedule=schedule.for_shard(shard))
+    result = get_backend(backend).run(proc, trace)
+    start, count = shard_rows(staged.rows, schedule.cores)[shard]
+    c = read_csr_result(proc.mem, staged)[start:start + count].copy()
+    return ShardRun(kernel=CSR_KERNEL, shard=shard, row_start=start,
+                    row_count=count, result=result, c=c)
+
+
+def run_csr(a: NMSparseMatrix, b: np.ndarray,
+            config: ProcessorConfig | None = None,
+            verify: bool = True,
+            backend: str | None = None,
+            vlmax: int = 16,
+            schedule: Schedule | None = None) -> KernelRun:
+    """Run the unstructured-CSR kernel on the same operands.
+
+    The N:M matrix is re-encoded as plain CSR (identical values and
+    density), staged through the CSR layout, and executed with the
+    format's own kernel — the A4 ablation's equal-density baseline.
+    ``vlmax`` and ``cores`` are the only schedule knobs the CSR nest
+    has (no tiling, no unrolling); the engine threads them through from
+    the job schedule via ``schedule=``.
+    """
+    from repro.kernels.spmm_csr import (
+        read_csr_result,
+        stage_csr,
+        trace_csr_spmm,
+    )
+    from repro.sparse.csr import CSRMatrix
+
+    schedule = _csr_schedule(schedule, vlmax)
+    if schedule.shard is not None:
+        raise KernelError(
+            "run_csr executes whole kernels; for one core's slice use "
+            "run_csr_shard (shard selection is an execution detail)")
+    backend = resolve_backend(backend)
+    config = config or ProcessorConfig.scaled_default()
+    if schedule.cores > 1:
+        shards = [run_csr_shard(a, b, schedule, i, config=config,
+                                backend=backend)
+                  for i in range(schedule.cores)]
+        return merge_shard_runs(CSR_KERNEL, shards, backend, a, b, verify)
+    _check_vlmax(CSR_KERNEL, schedule.vlmax, config)
+    proc = DecoupledProcessor(config)
+    csr = CSRMatrix.from_dense(a.to_dense())
+    staged = stage_csr(proc.mem, csr, b)
+    result = get_backend(backend).run(
+        proc, trace_csr_spmm(staged, schedule=schedule))
     verified = False
     if verify:
         _verify_result(CSR_KERNEL, read_csr_result(proc.mem, staged), a, b)

@@ -43,31 +43,49 @@ DEFAULT_LAYER = "conv3_1_3x3"
 
 def candidate_schedules(kernel: str = PROPOSED, nm=(1, 4),
                         vlmax: int = 16, num_vregs: int = 32,
-                        reserved_vregs: int = 16) -> list[Schedule]:
+                        reserved_vregs: int = 16, *,
+                        cores=(1,),
+                        sweep_vlmax: bool = False,
+                        sweep_init_c: bool = False) -> list[Schedule]:
     """The tuner's sweep space for one kernel and N:M pattern.
 
     Tile heights are whole-block multiples of M, doubling up to the
     paper's Section III bound ``M*VL/N`` (and, for a VRF-resident B
     tile, the vector-register budget); unroll sweeps the micro-kernel
-    family; dataflow sweeps whatever the spec can schedule.
+    family; dataflow sweeps whatever the spec can schedule; ``cores``
+    adds the multicore sharding axis.  The optional depth axes —
+    ``sweep_vlmax`` (halving vector lengths down from ``vlmax``, which
+    retightens the tile bound per VL) and ``sweep_init_c`` (zero-fill
+    vs load of the first k-tile's accumulators) — are off by default to
+    keep the base sweep small.
     """
     spec = get_spec(kernel)
     n_, m_ = nm
-    bound = max_tile_rows(n_, m_, vlmax)
-    if spec.b_residency == "vrf":
-        bound = min(bound, num_vregs - reserved_vregs)
-    tiles = []
-    tile = m_
-    while tile <= bound:
-        tiles.append(tile)
-        tile *= 2
+    vlmaxes = ((vlmax, vlmax // 2, vlmax // 4) if sweep_vlmax
+               else (vlmax,))
+    vlmaxes = tuple(vl for vl in dict.fromkeys(vlmaxes) if vl >= 1)
+    init_flags = (True, False) if sweep_init_c else (True,)
     dataflows = spec.dataflows or (Dataflow.B_STATIONARY,)
-    return [
-        Schedule(tile_rows=tile, unroll=unroll, dataflow=df, vlmax=vlmax)
-        for df in dataflows
-        for unroll in (1, 2, 4)
-        for tile in tiles
-    ]
+    out = []
+    for vl in vlmaxes:
+        bound = max_tile_rows(n_, m_, vl)
+        if spec.b_residency == "vrf":
+            bound = min(bound, num_vregs - reserved_vregs)
+        tiles = []
+        tile = m_
+        while tile <= bound:
+            tiles.append(tile)
+            tile *= 2
+        out.extend(
+            Schedule(tile_rows=tile, unroll=unroll, dataflow=df,
+                     vlmax=vl, init_c_zero=init_c, cores=n_cores)
+            for df in dataflows
+            for unroll in (1, 2, 4)
+            for tile in tiles
+            for init_c in init_flags
+            for n_cores in cores
+        )
+    return out
 
 
 @dataclass(frozen=True)
@@ -130,6 +148,9 @@ class TuningResult:
                 "*" if point is best else "",
                 f"L={s.tile_rows}", f"x{s.unroll}",
                 f"{s.dataflow.value}-stationary",
+                f"vl={s.vlmax}",
+                "zero" if s.init_c_zero else "load",
+                s.cores,
                 point.cycles,
                 self.default.cycles / point.cycles,
             ])
@@ -138,8 +159,8 @@ class TuningResult:
                  f"(best {best.schedule.describe()}, "
                  f"{self.speedup_vs_default:.2f}x vs paper default)")
         return format_table(
-            ["", "tile rows", "unroll", "dataflow", "cycles",
-             "vs default"], rows, title=title)
+            ["", "tile rows", "unroll", "dataflow", "vl", "init C",
+             "cores", "cycles", "vs default"], rows, title=title)
 
 
 def tune(kernel: str = PROPOSED, nm=(1, 4), *,
@@ -148,21 +169,28 @@ def tune(kernel: str = PROPOSED, nm=(1, 4), *,
          shape: tuple[int, int, int] | None = None, seed: int = 0,
          config: ProcessorConfig | None = None,
          backend: str | None = None, verify: bool = True,
+         cores=(1,), sweep_vlmax: bool = False,
+         sweep_init_c: bool = False,
          schedules=None, engine=None) -> TuningResult:
     """Sweep schedules for ``kernel`` and return the ranked result.
 
     The workload is either a scaled CNN layer (``policy`` + ``model``/
     ``layer``, the default) or an explicit synthetic GEMM (``shape`` +
-    ``seed``).  All sweep points run through the experiment engine as
-    one batch — deduplicated, parallel, disk-cached — so re-tuning is
-    free and the winner is reproducibly a cache hit.
+    ``seed``).  ``cores``/``sweep_vlmax``/``sweep_init_c`` widen the
+    generated sweep space (ignored when ``schedules`` is explicit).
+    All sweep points run through the experiment engine as one batch —
+    deduplicated, parallel, disk-cached — so re-tuning is free and the
+    winner is reproducibly a cache hit.
     """
     if (policy is None) == (shape is None):
         raise EngineError(
             "tune() needs exactly one workload source: policy (CNN "
             "layer) or shape (synthetic GEMM)")
     schedules = list(schedules if schedules is not None
-                     else candidate_schedules(kernel, nm))
+                     else candidate_schedules(
+                         kernel, nm, cores=tuple(cores),
+                         sweep_vlmax=sweep_vlmax,
+                         sweep_init_c=sweep_init_c))
     if not schedules:
         raise KernelError("tune() needs at least one candidate schedule")
     if PAPER_SCHEDULE not in schedules:

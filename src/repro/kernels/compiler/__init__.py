@@ -48,7 +48,7 @@ from repro.kernels.compiler.spec import (
     normalize_schedule,
     parse_dataflow,
 )
-from repro.kernels.compiler.tiling import TilePlan, plan_tiles
+from repro.kernels.compiler.tiling import TilePlan, plan_tiles, shard_rows
 from repro.kernels.layout import StagedDense, StagedSpMM
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "normalize_schedule",
     "parse_dataflow",
     "plan_tiles",
+    "shard_rows",
 ]
 
 

@@ -47,6 +47,10 @@ def emit_trace(ctx: EmitContext) -> Trace:
     tb = TraceBuilder()
     tb.emit(li(ctx.regs.avl, ctx.tiles.vlmax))
     tb.emit(I.vsetvli(0, ctx.regs.avl, vtype_e32m1()))
+    if ctx.tiles.row_count == 0:
+        # an empty shard (more cores than rows): nothing past the
+        # prologue, so the idle core contributes ~0 to the makespan
+        return tb.build()
     operand = ctx.spec.operand
     if operand == "dense":
         _nest_dense(tb, ctx)
@@ -189,7 +193,8 @@ def _nest_b_stationary(tb: TraceBuilder, ctx: EmitContext) -> None:
             a_off = kt * t.slots_tile * 4
             if t.main:
                 size = t.unroll
-                _group_pointers(tb, ctx, size, 0, a_off, col_off)
+                _group_pointers(tb, ctx, size, t.main[0][0], a_off,
+                                col_off)
                 tb.emit(li(rg.a_bump, size * st.a_row_stride))
                 tb.emit(li(rg.c_bump, size * st.c_row_stride))
                 tb.emit(li(rg.row_ctr, len(t.main)))
@@ -334,7 +339,7 @@ def _nest_dense(tb: TraceBuilder, ctx: EmitContext) -> None:
 # ----------------------------------------------------------------------
 def _nest_csr(tb: TraceBuilder, ctx: EmitContext) -> None:
     st, rg, t = ctx.staged, ctx.regs, ctx.tiles
-    for i in range(st.rows):
+    for i in range(t.row_start, t.row_start + t.row_count):
         lo, hi = st.indptr[i], st.indptr[i + 1]
         nnz = hi - lo
         for jt in range(t.col_tiles):

@@ -103,6 +103,16 @@ class Schedule:
     vlmax: int = 16
     b_residency: str = "auto"
     init_c_zero: bool = True
+    #: Simulated cores the output-row space is sharded across.  ``1``
+    #: (the default) is the paper's single-core machine; ``N > 1``
+    #: lowers one trace per core and the timing merge layer combines
+    #: the per-core cycle streams into makespan cycles.
+    cores: int = 1
+    #: Which shard this lowering targets: ``None`` (the default) means
+    #: the whole row space — what jobs and tuned schedules carry — and
+    #: the multicore fan-out compiles per-core traces with
+    #: :meth:`for_shard`.
+    shard: int | None = None
 
     def __post_init__(self):
         if isinstance(self.dataflow, str):
@@ -118,6 +128,19 @@ class Schedule:
             raise KernelError(
                 f"b_residency must be one of {RESIDENCIES}, "
                 f"not {self.b_residency!r}")
+        if not isinstance(self.cores, int) or self.cores < 1:
+            raise KernelError(
+                f"cores must be a positive integer, not {self.cores!r}")
+        if self.shard is not None and not (
+                isinstance(self.shard, int)
+                and 0 <= self.shard < self.cores):
+            raise KernelError(
+                f"shard must be None or an integer in [0, {self.cores}), "
+                f"not {self.shard!r}")
+
+    def for_shard(self, shard: int) -> "Schedule":
+        """This schedule narrowed to one core's shard of the row space."""
+        return replace(self, shard=shard)
 
     # -- legacy bridge -------------------------------------------------
     @classmethod
@@ -151,13 +174,17 @@ class Schedule:
             "vlmax": self.vlmax,
             "b_residency": self.b_residency,
             "init_c_zero": self.init_c_zero,
+            "cores": self.cores,
+            "shard": self.shard,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Schedule":
-        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        """Inverse of :meth:`to_dict` (unknown keys are rejected;
+        pre-multicore payloads without ``cores``/``shard`` load as
+        single-core)."""
         known = {"tile_rows", "unroll", "dataflow", "vlmax",
-                 "b_residency", "init_c_zero"}
+                 "b_residency", "init_c_zero", "cores", "shard"}
         extra = set(payload) - known
         if extra:
             raise KernelError(
@@ -172,8 +199,13 @@ class Schedule:
 
     def describe(self) -> str:
         """Compact human-readable form for tables and logs."""
-        return (f"L={self.tile_rows} u{self.unroll} "
+        text = (f"L={self.tile_rows} u{self.unroll} "
                 f"{self.dataflow.value}-stat vl={self.vlmax}")
+        if self.cores > 1:
+            text += f" x{self.cores}cores"
+            if self.shard is not None:
+                text += f"[{self.shard}]"
+        return text
 
 
 def parse_dataflow(value) -> Dataflow:

@@ -7,6 +7,14 @@ k-tiles, stored-slot counts per tile, and the unroll row-grouping
 exactly as a compiled micro-kernel family would be selected).  All
 divisibility constraints are checked here, so emission never faults
 halfway through a trace.
+
+Multi-core sharding also lives here: a schedule with ``cores=N`` and
+``shard=i`` restricts the plan to core *i*'s contiguous slice of the
+output-row space (:func:`shard_rows`), so every loop nest walks only
+its own rows while the column/k tiling stays identical across cores.
+``shard=None`` (the default) plans the whole row space — for ``cores=1``
+that lowering is instruction-for-instruction identical to the
+pre-multicore compiler (pinned by the golden stream tests).
 """
 
 from __future__ import annotations
@@ -16,6 +24,25 @@ from dataclasses import dataclass
 from repro.errors import KernelError
 from repro.kernels.builder import row_groups
 from repro.kernels.compiler.spec import KernelSpec, Schedule
+
+
+def shard_rows(rows: int, cores: int) -> tuple[tuple[int, int], ...]:
+    """Balanced contiguous ``(start, count)`` row ranges, one per core.
+
+    The first ``rows % cores`` shards carry one extra row; with more
+    cores than rows the trailing shards are empty (their traces reduce
+    to the vsetvli prologue and contribute ~0 cycles to the makespan).
+    """
+    if cores < 1:
+        raise KernelError(f"cores must be >= 1, not {cores}")
+    base, extra = divmod(rows, cores)
+    ranges = []
+    start = 0
+    for core in range(cores):
+        count = base + (1 if core < extra else 0)
+        ranges.append((start, count))
+        start += count
+    return tuple(ranges)
 
 
 @dataclass(frozen=True)
@@ -31,32 +58,47 @@ class TilePlan:
                      #: (0 for the dense and CSR nests)
     #: unroll row groups: ``main`` run at the scheduled unroll inside a
     #: steady register-driven loop, ``rest`` are the shrinking
-    #: remainder groups emitted straight-line.
+    #: remainder groups emitted straight-line.  Group starts are
+    #: absolute row indices (offset by the shard's ``row_start``).
     groups: tuple[tuple[int, int], ...]
     main: tuple[tuple[int, int], ...]
     rest: tuple[tuple[int, int], ...]
+    #: the output-row slice this plan covers (the whole matrix unless
+    #: the schedule selects a shard)
+    row_start: int = 0
+    row_count: int = 0
 
 
-def _split_groups(rows: int, unroll: int):
-    groups = tuple(row_groups(rows, unroll))
+def _split_groups(rows: int, unroll: int, start: int = 0):
+    groups = tuple((start + s, size) for s, size in row_groups(rows, unroll))
     main = tuple(g for g in groups if g[1] == unroll)
     return groups, main, groups[len(main):]
+
+
+def _shard_range(schedule: Schedule, rows: int) -> tuple[int, int]:
+    """The (start, count) row slice selected by the schedule's shard."""
+    if schedule.shard is None:
+        return 0, rows
+    return shard_rows(rows, schedule.cores)[schedule.shard]
 
 
 def plan_tiles(spec: KernelSpec, schedule: Schedule, staged) -> TilePlan:
     """Lower the schedule onto the staged operand geometry."""
     vlmax = schedule.vlmax
+    row_start, row_count = _shard_range(schedule, staged.rows)
     if spec.operand == "dense":
         if staged.k % vlmax or staged.n_cols % vlmax:
             raise KernelError(
                 f"dense kernel requires K={staged.k} and "
                 f"N={staged.n_cols} to be multiples of VL={vlmax}")
-        groups, main, rest = _split_groups(staged.rows, schedule.unroll)
+        groups, main, rest = _split_groups(row_count, schedule.unroll,
+                                           row_start)
         return TilePlan(vlmax=vlmax, tile_rows=schedule.tile_rows,
                         unroll=schedule.unroll,
                         col_tiles=staged.n_cols // vlmax,
                         k_tiles=staged.k // vlmax, slots_tile=0,
-                        groups=groups, main=main, rest=rest)
+                        groups=groups, main=main, rest=rest,
+                        row_start=row_start, row_count=row_count)
     if spec.operand == "csr":
         if staged.n_cols % vlmax:
             raise KernelError(
@@ -64,15 +106,18 @@ def plan_tiles(spec: KernelSpec, schedule: Schedule, staged) -> TilePlan:
         return TilePlan(vlmax=vlmax, tile_rows=schedule.tile_rows,
                         unroll=1, col_tiles=staged.n_cols // vlmax,
                         k_tiles=1, slots_tile=0,
-                        groups=(), main=(), rest=())
+                        groups=(), main=(), rest=(),
+                        row_start=row_start, row_count=row_count)
     if spec.operand == "nm-sparse":
         tile = schedule.tile_rows
-        groups, main, rest = _split_groups(staged.rows, schedule.unroll)
+        groups, main, rest = _split_groups(row_count, schedule.unroll,
+                                           row_start)
         return TilePlan(vlmax=vlmax, tile_rows=tile,
                         unroll=schedule.unroll,
                         col_tiles=staged.num_col_tiles(vlmax),
                         k_tiles=staged.num_k_tiles(tile),
                         slots_tile=staged.slots_per_tile(tile),
-                        groups=groups, main=main, rest=rest)
+                        groups=groups, main=main, rest=rest,
+                        row_start=row_start, row_count=row_count)
     raise KernelError(
         f"spec {spec.name!r} has unknown operand kind {spec.operand!r}")

@@ -71,20 +71,26 @@ def stage_csr(mem: FlatMemory, a: CSRMatrix, b: np.ndarray) -> StagedCSR:
     )
 
 
-def trace_csr_spmm(staged: StagedCSR, vlmax: int = 16) -> Trace:
+def trace_csr_spmm(staged: StagedCSR, vlmax: int = 16,
+                   schedule: Schedule | None = None) -> Trace:
     """Build the loop-annotated trace of the CSR kernel.
 
     C-stationary over column tiles (the natural choice for CSR: each
     output row tile is produced in one pass over the row's non-zeros).
     The per-non-zero loop advances its pointers in registers, so it is
     a steady loop of ``nnz`` identical iterations per (row, tile).
+    ``schedule`` overrides ``vlmax`` and may additionally select a
+    multicore shard (``cores``/``shard``) of the output rows.
     """
-    return compile_trace(CSR_SPEC, staged, Schedule(vlmax=vlmax))
+    if schedule is None:
+        schedule = Schedule(vlmax=vlmax)
+    return compile_trace(CSR_SPEC, staged, schedule)
 
 
-def build_csr_spmm(staged: StagedCSR, vlmax: int = 16):
+def build_csr_spmm(staged: StagedCSR, vlmax: int = 16,
+                   schedule: Schedule | None = None):
     """Generate the dynamic instruction stream of the CSR kernel."""
-    yield from trace_csr_spmm(staged, vlmax).instructions()
+    yield from trace_csr_spmm(staged, vlmax, schedule).instructions()
 
 
 def read_csr_result(mem: FlatMemory, staged: StagedCSR) -> np.ndarray:
