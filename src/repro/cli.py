@@ -20,11 +20,21 @@ Commands
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
 ``crosscheck``  gate ``compressed-replay`` against ``detailed``
 
-The simulation commands accept ``--schedule FILE`` to run with a tuned
-kernel schedule produced by ``repro tune`` instead of the paper's
-hand-picked one, and ``--cores N`` to shard every kernel's output rows
-across N simulated cores (per-core traces simulated in parallel by the
-engine's worker pool, merged into makespan cycles).
+Per-layer schedule policies
+---------------------------
+``fig4``/``fig5``/``fig6``/``bench``/``scaling`` accept ``--policy
+fixed|heuristic|tuned``: ``fixed`` (default) applies one schedule to
+every layer, ``heuristic`` derives a deterministic shape-driven
+schedule per layer, and ``tuned`` resolves each layer through a
+schedule book (``--schedule-book FILE``, produced by ``repro tune
+--per-layer``).  ``--scale tiny|small|medium`` selects the workload
+scale policy (scale names passed to ``--policy`` keep working for
+backwards compatibility).  The commands also accept ``--schedule
+FILE`` to run with one tuned kernel schedule produced by ``repro
+tune`` instead of the paper's hand-picked one, and ``--cores N`` to
+shard every kernel's output rows across N simulated cores (per-core
+traces simulated in parallel by the engine's worker pool, merged into
+makespan cycles).
 
 Experiment engine
 -----------------
@@ -47,6 +57,7 @@ from pathlib import Path
 
 from repro.arch.config import ProcessorConfig
 from repro.arch.timing import available_backends, resolve_backend
+from repro.errors import ReproError
 from repro.eval.engine import (
     ExperimentEngine,
     SimJob,
@@ -72,10 +83,24 @@ from repro.nn.models import get_model, list_models
 from repro.nn.workload import POLICIES
 
 
+#: Schedule-policy names (``--policy``); scale-policy names remain
+#: accepted through the same flag for backwards compatibility.
+SCHEDULE_POLICIES = ("fixed", "heuristic", "tuned")
+
+_SCALE_CHOICES = sorted(set(POLICIES) - {"full"})
+
+
 def _add_policy_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--policy", default="small",
-                        choices=sorted(set(POLICIES) - {"full"}),
-                        help="workload scale policy (default: small)")
+    parser.add_argument(
+        "--policy", default=None,
+        choices=[*SCHEDULE_POLICIES, *_SCALE_CHOICES],
+        help="per-layer schedule policy (fixed|heuristic|tuned; "
+             "default: fixed).  Scale-policy names (tiny|small|medium) "
+             "are also accepted here for backwards compatibility — "
+             "prefer --scale for those")
+    parser.add_argument(
+        "--scale", default=None, choices=_SCALE_CHOICES,
+        help="workload scale policy (default: small)")
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -92,6 +117,9 @@ def _add_schedule_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--schedule", default=None, metavar="FILE",
                         help="JSON schedule from `repro tune` to use "
                              "instead of the paper default")
+    parser.add_argument("--schedule-book", default=None, metavar="FILE",
+                        help="per-layer schedule book from `repro tune "
+                             "--per-layer` (implies --policy tuned)")
     parser.add_argument("--cores", type=int, default=None, metavar="N",
                         help="shard every kernel's output rows across "
                              "N simulated cores (default: the "
@@ -108,21 +136,70 @@ def _schedule(args):
     return load_tuned_schedule(path)
 
 
-def _schedule_with_cores(args):
-    """The effective schedule of --schedule/--cores (None = paper
-    default single-core)."""
+def _fixed_schedule(args, cores):
+    """The effective fixed schedule of --schedule/--cores (None =
+    paper default single-core — the exact legacy path, so default runs
+    stay bit-identical in the cache)."""
     schedule = _schedule(args)
-    cores = getattr(args, "cores", None)
     if cores is not None:
-        if cores < 1:
-            raise SystemExit(f"--cores must be a positive core count, "
-                             f"got {cores}")
         from dataclasses import replace
 
         from repro.eval.experiments import paper_schedule
 
         schedule = replace(schedule or paper_schedule(), cores=cores)
     return schedule
+
+
+def _schedule_policy(args, cores="auto"):
+    """The schedule source selected by --policy / --schedule /
+    --schedule-book / --cores.
+
+    Returns ``None`` (paper default) or a tuned :class:`Schedule` for
+    the fixed policy, else a :class:`~repro.eval.schedules.
+    SchedulePolicy` that the drivers resolve per layer.  ``cores``
+    defaults to the command's ``--cores`` value; pass ``None`` for
+    commands (``scaling``) that sweep their own core ladder.
+    """
+    from repro.errors import TuningError
+
+    if cores == "auto":
+        cores = getattr(args, "cores", None)
+        if cores is not None and cores < 1:
+            raise SystemExit(f"--cores must be a positive core count, "
+                             f"got {cores}")
+    explicit = getattr(args, "policy", None)
+    name = explicit if explicit in SCHEDULE_POLICIES else None
+    book_path = getattr(args, "schedule_book", None)
+    schedule_path = getattr(args, "schedule", None)
+    if name is None and book_path:
+        name = "tuned"
+    # conflicting flag combinations must fail loudly, never silently
+    # drop a file the user expected to participate in the run
+    if name == "heuristic" and (schedule_path or book_path):
+        raise TuningError(
+            "--policy heuristic derives schedules from layer shapes; "
+            "it conflicts with --schedule/--schedule-book")
+    if name == "tuned" and schedule_path:
+        raise TuningError(
+            "--schedule conflicts with --policy tuned; per-layer "
+            "schedules come from the book (--schedule-book)")
+    if explicit == "fixed" and book_path:
+        raise TuningError(
+            "--schedule-book needs --policy tuned (or omit --policy)")
+    if name == "tuned":
+        from repro.eval.schedules import TunedPolicy, load_schedule_book
+
+        if not book_path:
+            raise TuningError(
+                "--policy tuned needs --schedule-book FILE (create one "
+                "with `repro tune --per-layer`)")
+        return TunedPolicy(book=load_schedule_book(book_path),
+                           cores=cores)
+    if name == "heuristic":
+        from repro.eval.schedules import HeuristicPolicy
+
+        return HeuristicPolicy(cores=cores or 1)
+    return _fixed_schedule(args, cores)
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -142,8 +219,13 @@ def _install_engine(args) -> ExperimentEngine:
 
 
 def _policy_and_config(args):
-    policy = POLICIES[args.policy]
-    return policy, ProcessorConfig.scaled_default()
+    """The workload scale policy (--scale, or a legacy scale name
+    passed through --policy) and the simulated processor config."""
+    name = getattr(args, "scale", None)
+    chosen = getattr(args, "policy", None)
+    if name is None and chosen in POLICIES:
+        name = chosen
+    return POLICIES[name or "small"], ProcessorConfig.scaled_default()
 
 
 def _backend(args) -> str:
@@ -159,7 +241,7 @@ def cmd_fig4(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
     print(run_fig4(model=args.model, policy=policy, config=config,
-                   options=_schedule_with_cores(args),
+                   options=_schedule_policy(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -168,7 +250,7 @@ def cmd_fig4(args) -> int:
 def cmd_fig5(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig5(policy=policy, config=config, options=_schedule_with_cores(args),
+    print(run_fig5(policy=policy, config=config, options=_schedule_policy(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -177,7 +259,7 @@ def cmd_fig5(args) -> int:
 def cmd_fig6(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
-    print(run_fig6(policy=policy, config=config, options=_schedule_with_cores(args),
+    print(run_fig6(policy=policy, config=config, options=_schedule_policy(args),
                    backend=_backend(args)).render())
     print(f"\n[{engine.summary()}]")
     return 0
@@ -244,11 +326,17 @@ def _scaling_artifact(policy, config, backend, options):
     """The bench `scaling` driver honors --cores: an explicit core
     count narrows the sweep to (1, N) instead of the default ladder."""
     from repro.eval.experiments import DEFAULT_CORE_COUNTS
+    from repro.eval.schedules import SchedulePolicy
     from repro.kernels import Schedule
 
     core_counts = DEFAULT_CORE_COUNTS
-    if isinstance(options, Schedule) and options.cores > 1:
-        core_counts = (1, options.cores)
+    cores = None
+    if isinstance(options, Schedule):
+        cores = options.cores
+    elif isinstance(options, SchedulePolicy):
+        cores = getattr(options, "cores", None)
+    if cores is not None and cores > 1:
+        core_counts = (1, cores)
     return run_scaling(policy=policy, config=config, backend=backend,
                        options=options, core_counts=core_counts)
 
@@ -263,7 +351,7 @@ def cmd_bench(args) -> int:
     out_dir = Path(args.out)
     start_all = time.perf_counter()
     backend = _backend(args)
-    schedule = _schedule_with_cores(args)
+    schedule = _schedule_policy(args)
     for i, name in enumerate(names, 1):
         title, stem, driver = ARTIFACTS[name]
         start = time.perf_counter()
@@ -300,6 +388,8 @@ def cmd_tune(args) -> int:
 
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
+    if args.per_layer:
+        return _tune_per_layer(args, policy, config, engine)
     kwargs = dict(policy=policy, layer=args.layer)
     if args.shape is not None:
         kwargs = dict(shape=tuple(args.shape), seed=args.seed)
@@ -334,6 +424,48 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _tune_per_layer(args, policy, config, engine) -> int:
+    """`repro tune --per-layer`: every distinct layer of a model,
+    cross-backend, persisted as a schedule book."""
+    from repro.eval.schedules import save_schedule_book
+    from repro.eval.tuning import tune_per_layer
+
+    result = tune_per_layer(
+        args.kernel, _parse_nm(args.nm), model=args.model, policy=policy,
+        config=config, backend=_backend(args),
+        sweep_backend=args.sweep_backend, top_k=args.top_k,
+        cores=tuple(args.cores), sweep_vlmax=args.sweep_vlmax,
+        sweep_init_c=args.sweep_init_c, layers=args.layers,
+        engine=engine)
+    text = result.render()
+    # persist artifacts before printing: a closed stdout (broken pipe)
+    # must not lose the tuning outcome
+    if args.table_out:
+        atomic_write_text(Path(args.table_out), text + "\n")
+    if args.book_out:
+        save_schedule_book(args.book_out, result.to_book())
+    print(text)
+    print(f"\n[{engine.summary()}]")
+    if args.table_out:
+        print(f"tuning table -> {args.table_out}")
+    if args.book_out:
+        print(f"schedule book -> {args.book_out}  (use it with "
+              f"--policy tuned --schedule-book on fig4/fig5/fig6/bench/"
+              f"scaling)")
+    if args.check:
+        ok = True
+        if not result.all_verified:
+            print("FAIL: a sweep point produced an unverified result")
+            ok = False
+        if not result.best_beats_default:
+            print("FAIL: a layer's tuned schedule is slower than the "
+                  "paper default")
+            ok = False
+        if not ok:
+            return 1
+    return 0
+
+
 # ======================================================================
 # scaling — multi-core sharding study
 # ======================================================================
@@ -341,7 +473,7 @@ def cmd_scaling(args) -> int:
     policy, config = _policy_and_config(args)
     engine = _install_engine(args)
     result = run_scaling(models=tuple(args.models), policy=policy,
-                         config=config, options=_schedule(args),
+                         config=config, options=_schedule_policy(args, cores=None),
                          core_counts=tuple(args.cores),
                          kernel=args.kernel, backend=_backend(args))
     text = result.render()
@@ -512,6 +644,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kernel whose schedule to tune")
     p.add_argument("--nm", default="1:4", metavar="N:M",
                    help="sparsity pattern (default: 1:4)")
+    p.add_argument("--per-layer", action="store_true",
+                   help="tune every distinct layer GEMM of --model "
+                        "cross-backend (broad sweep on --sweep-backend, "
+                        "top-K finalists re-ranked on --backend) and "
+                        "write the per-layer schedule book")
+    p.add_argument("--model", default="resnet50", choices=list_models(),
+                   help="model whose layers to tune (--per-layer; "
+                        "default: resnet50)")
+    p.add_argument("--layers", nargs="+", default=None, metavar="NAME",
+                   help="restrict --per-layer to these unique layers")
+    p.add_argument("--top-k", type=int, default=3, metavar="K",
+                   help="finalists per layer re-simulated on the final "
+                        "backend (--per-layer; default: 3)")
+    p.add_argument("--sweep-backend", default="compressed-replay",
+                   choices=available_backends(),
+                   help="timing backend of the broad --per-layer sweep "
+                        "(default: compressed-replay)")
+    p.add_argument("--book-out",
+                   default="benchmarks/results/schedule_book.json",
+                   metavar="FILE",
+                   help="where to persist the --per-layer schedule "
+                        "book (empty string to skip)")
     p.add_argument("--layer", default="conv3_1_3x3", metavar="NAME",
                    help="representative ResNet50 layer to tune on")
     p.add_argument("--shape", nargs=3, type=int, default=None,
@@ -562,6 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", default=None, metavar="FILE",
                    help="JSON schedule from `repro tune` to shard "
                         "instead of the paper default")
+    p.add_argument("--schedule-book", default=None, metavar="FILE",
+                   help="per-layer schedule book from `repro tune "
+                        "--per-layer` (implies --policy tuned)")
     p.add_argument("--table-out",
                    default="benchmarks/results/scaling.txt",
                    metavar="FILE",
@@ -611,7 +768,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # a missing schedule book or corrupt tuned-schedule file is an
+        # operator error, not a crash: one clean line, non-zero exit
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

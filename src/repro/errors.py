@@ -37,5 +37,10 @@ class EngineError(ReproError):
     """An experiment-engine job or cache operation is invalid."""
 
 
+class TuningError(EngineError):
+    """A tuning artifact (tuned schedule / schedule book) is missing,
+    unreadable, or structurally invalid."""
+
+
 class BackendError(ReproError):
     """A timing backend is unknown or misconfigured."""

@@ -389,6 +389,19 @@ class EngineCounters:
     def total(self) -> int:
         return self.simulated + self.disk_hits + self.memo_hits
 
+    def snapshot(self) -> "EngineCounters":
+        """A frozen copy of the current counts (for phase accounting,
+        e.g. the per-layer tuner's sweep-vs-finalist split)."""
+        return EngineCounters(simulated=self.simulated,
+                              disk_hits=self.disk_hits,
+                              memo_hits=self.memo_hits)
+
+    def since(self, start: "EngineCounters") -> "EngineCounters":
+        """The counts accumulated after ``start`` was snapshotted."""
+        return EngineCounters(simulated=self.simulated - start.simulated,
+                              disk_hits=self.disk_hits - start.disk_hits,
+                              memo_hits=self.memo_hits - start.memo_hits)
+
 
 class ExperimentEngine:
     """Deduplicating, memoising, parallel executor of :class:`SimJob`s.

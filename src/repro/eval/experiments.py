@@ -13,6 +13,7 @@ policy, config, options) within the process.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -31,8 +32,9 @@ from repro.eval.comparison import (
 from repro.eval.engine import SimJob, get_engine
 from repro.eval.report import bar_chart, format_table, pct
 from repro.eval.runner import CSR_KERNEL
+from repro.eval.schedules import SchedulePolicy, coerce_policy
 from repro.kernels.builder import KernelOptions
-from repro.kernels.compiler import Schedule
+from repro.kernels.compiler import Schedule, project_schedule
 from repro.kernels.dataflow import Dataflow
 from repro.nn.models import MODEL_NAMES, get_model, unique_gemm_layers
 from repro.nn.workload import SMALL, ScalePolicy, padded_gemm
@@ -71,6 +73,11 @@ def _legacy_options(options) -> KernelOptions:
     return options
 
 
+#: (kernel, schedule, nm) triples already warned about, so a fig5 run
+#: across three models warns once per substitution, not once per layer.
+_FALLBACK_WARNED: set = set()
+
+
 def _applicable_options(kernel: str, options, nm: tuple[int, int]):
     """The options to run ``kernel`` with, given possibly-tuned input.
 
@@ -78,32 +85,43 @@ def _applicable_options(kernel: str, options, nm: tuple[int, int]):
     schedule it — e.g. a rowwise-tuned A-stationary or L=64 winner
     cannot drive the vindexmac kernel (B-stationary by construction,
     L bounded by the vector-register budget).  Incompatible kernels
-    fall back to the paper defaults, so ``--schedule`` comparisons
-    always run instead of crashing; legacy :class:`KernelOptions` pass
-    through untouched (the ablations sweep them deliberately).
+    fall back to the paper defaults (see :func:`repro.kernels.compiler.
+    project_schedule`) with a one-line warning naming the kernel and
+    the substituted default, so ``--schedule`` comparisons always run
+    instead of crashing; legacy :class:`KernelOptions` pass through
+    untouched (the ablations sweep them deliberately).
     """
     if not isinstance(options, Schedule):
         return options
-    from repro.kernels.compiler import get_spec, normalize_schedule
-    from repro.kernels.dataflow import max_tile_rows, validate_tile_rows
-    from repro.errors import KernelError
+    projected, reason = project_schedule(kernel, options, nm)
+    if reason is not None:
+        key = (kernel, options, tuple(nm))
+        if key not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(key)
+            warnings.warn(
+                f"schedule [{options.describe()}] does not apply to "
+                f"kernel {kernel!r} ({reason}); substituting the paper "
+                f"default [{projected.describe()}]",
+                RuntimeWarning, stacklevel=3)
+    return projected
 
-    spec = get_spec(kernel)
-    try:
-        schedule = normalize_schedule(spec, options)
-        if schedule.b_residency == "vrf":
-            validate_tile_rows(schedule.tile_rows, *nm, schedule.vlmax,
-                               num_vregs=32, reserved_vregs=16)
-        elif schedule.tile_rows > max_tile_rows(*nm, schedule.vlmax):
-            raise KernelError("tile exceeds the Section III bound")
-    except KernelError:
-        # keep the requested core count: sharding applies to every
-        # kernel even when the tuned layout knobs do not
-        return replace(paper_schedule(), cores=options.cores)
-    # hand back the ORIGINAL schedule (not the normalized copy) so the
-    # job hash matches what the caller persisted; the compiler
-    # re-normalizes at lowering time
-    return options
+
+def _resolve_layer_options(sched_policy: SchedulePolicy, kernel: str,
+                           nm: tuple[int, int], model: str, layer,
+                           scale_policy: ScalePolicy):
+    """One layer's effective options under ``sched_policy``.
+
+    ``None`` from the policy means "paper default" and substitutes
+    exactly what the drivers used before policies existed, so the
+    fixed default stays bit-identical in the cache.  The resolved
+    schedule then goes through the per-kernel compatibility projection.
+    """
+    resolved = sched_policy.resolve(
+        kernel, tuple(nm), model=model, layer=layer.name, gemm=layer.gemm,
+        scaled=scale_policy.scale(layer.gemm))
+    if resolved is None:
+        resolved = paper_options()
+    return _applicable_options(kernel, resolved, nm)
 
 
 _COMPARISON_CACHE: dict = {}
@@ -112,7 +130,7 @@ _COMPARISON_CACHE: dict = {}
 def model_comparisons(model: str, nm: tuple[int, int],
                       policy: ScalePolicy = SMALL,
                       config: ProcessorConfig | None = None,
-                      options: KernelOptions | Schedule | None = None,
+                      options=None,
                       verify: bool = True,
                       backend: str | None = None) -> list[LayerComparison]:
     """Simulate both designs on every unique layer GEMM of ``model``.
@@ -122,29 +140,38 @@ def model_comparisons(model: str, nm: tuple[int, int],
     through the experiment engine (parallel + disk-cached) as one
     batch; the policy travels inside each job by value, so custom
     :class:`ScalePolicy` instances work like the registered ones.
-    ``options`` also accepts a full compiler :class:`Schedule` (e.g. a
-    `repro tune` winner), which then keys the jobs' cache identity.
+    ``options`` accepts legacy :class:`KernelOptions`, a full compiler
+    :class:`Schedule` (e.g. a `repro tune` winner), or a
+    :class:`~repro.eval.schedules.SchedulePolicy` — each layer's job
+    then runs under the schedule the policy resolves for it, and that
+    resolved schedule (not the policy) keys the job's cache identity.
     """
     config = config or ProcessorConfig.scaled_default()
-    options = options or paper_options()
+    sched_policy = coerce_policy(options)
     backend = resolve_backend(backend)
-    key = (model, nm, policy, config, options, verify, backend)
+    key = (model, nm, policy, config, sched_policy, verify, backend)
     if key in _COMPARISON_CACHE:
         return _COMPARISON_CACHE[key]
-    per_kernel = {kernel: _applicable_options(kernel, options, nm)
-                  for kernel in (BASELINE, PROPOSED)}
     layers = list(unique_gemm_layers(get_model(model)))
+    resolved = {
+        (layer.name, kernel): _resolve_layer_options(
+            sched_policy, kernel, nm, model, layer, policy)
+        for layer, _ in layers
+        for kernel in (BASELINE, PROPOSED)
+    }
     jobs = [
         SimJob.for_layer(model, layer.name, nm, policy, kernel,
-                         per_kernel[kernel], config, verify, backend)
+                         resolved[(layer.name, kernel)], config, verify,
+                         backend)
         for layer, _ in layers
         for kernel in (BASELINE, PROPOSED)
     ]
     runs = get_engine().run(jobs)
     result = []
     for (layer, mult), base, prop in zip(layers, runs[0::2], runs[1::2]):
-        scaled = padded_gemm(layer.gemm, *nm, policy=policy,
-                             tile_rows=per_kernel[PROPOSED].tile_rows)
+        scaled = padded_gemm(
+            layer.gemm, *nm, policy=policy,
+            tile_rows=resolved[(layer.name, PROPOSED)].tile_rows)
         result.append(LayerComparison(
             layer_name=layer.name, nm=nm, original=layer.gemm,
             scaled=scaled, baseline=base.stats, proposed=prop.stats,
@@ -190,6 +217,16 @@ class Fig4Result:
         values = [c.speedup for c in self.comparisons[nm]]
         return min(values), max(values)
 
+    def total_cycles(self, nm: tuple[int, int],
+                     kernel: str = "proposed") -> float:
+        """Weighted whole-model cycle total (multiplicity x scale
+        factor, like Fig. 5) — the quantity the tuned-vs-fixed policy
+        gate compares."""
+        comps = self.comparisons[nm]
+        if kernel == "proposed":
+            return sum(c.proposed.cycles * c.weight for c in comps)
+        return sum(c.baseline.cycles * c.weight for c in comps)
+
     def render(self) -> str:
         parts = []
         for nm, comps in sorted(self.comparisons.items()):
@@ -207,9 +244,12 @@ class Fig4Result:
 
 def run_fig4(model: str = "resnet50", policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | Schedule | None = None,
+             options=None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig4Result:
+    """Per-layer speedups.  ``options`` accepts legacy options, a
+    tuned :class:`Schedule`, or a per-layer
+    :class:`~repro.eval.schedules.SchedulePolicy`."""
     comparisons = {
         nm: model_comparisons(model, nm, policy, config, options, verify,
                               backend)
@@ -252,7 +292,7 @@ class Fig5Result:
 
 def run_fig5(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | Schedule | None = None,
+             options=None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig5Result:
     totals = {}
@@ -305,11 +345,21 @@ class Fig6Result:
 
 
 def _analytic_model_mem_ratio(model: str, nm: tuple[int, int],
-                              options: KernelOptions) -> float:
-    """Exact full-size Fig. 6 ratio from the closed-form cost model."""
+                              sched_policy: SchedulePolicy,
+                              scale_policy: ScalePolicy) -> float:
+    """Exact full-size Fig. 6 ratio from the closed-form cost model.
+
+    Each layer's cost is evaluated under the schedule the policy
+    resolves for the proposed kernel on that layer (with the same
+    incompatibility fallback as the simulated jobs), projected onto
+    the legacy knobs the cost model understands.
+    """
     base_total = prop_total = 0
-    lcm = options.tile_rows * nm[1] // int(np.gcd(options.tile_rows, nm[1]))
     for layer, mult in unique_gemm_layers(get_model(model)):
+        options = _legacy_options(_resolve_layer_options(
+            sched_policy, PROPOSED, nm, model, layer, scale_policy))
+        lcm = options.tile_rows * nm[1] \
+            // int(np.gcd(options.tile_rows, nm[1]))
         g = layer.gemm
         k_pad = -(-g.k // lcm) * lcm
         n_pad = -(-g.n // _VL) * _VL
@@ -322,21 +372,18 @@ def _analytic_model_mem_ratio(model: str, nm: tuple[int, int],
 
 def run_fig6(models=paper.MODELS, policy: ScalePolicy = SMALL,
              config: ProcessorConfig | None = None,
-             options: KernelOptions | Schedule | None = None,
+             options=None,
              sparsities=paper.SPARSITIES, verify: bool = True,
              backend: str | None = None) -> Fig6Result:
-    options = options or paper_options()
+    sched_policy = coerce_policy(options)
     simulated, analytic = {}, {}
     for model in models:
         for nm in sparsities:
-            comps = model_comparisons(model, nm, policy, config, options,
-                                      verify, backend)
+            comps = model_comparisons(model, nm, policy, config,
+                                      sched_policy, verify, backend)
             simulated[(model, nm)] = aggregate_mem_ratio(comps)
-            # the analytic ratio models the proposed kernel's schedule
-            # (with the same incompatibility fallback as the jobs)
             analytic[(model, nm)] = _analytic_model_mem_ratio(
-                model, nm,
-                _legacy_options(_applicable_options(PROPOSED, options, nm)))
+                model, nm, sched_policy, policy)
     return Fig6Result(policy=policy.name, simulated=simulated,
                       analytic_full=analytic)
 
@@ -427,7 +474,7 @@ class ScalingResult:
 
 def run_scaling(models=paper.MODELS, policy: ScalePolicy = SMALL,
                 config: ProcessorConfig | None = None,
-                options: KernelOptions | Schedule | None = None,
+                options=None,
                 core_counts=DEFAULT_CORE_COUNTS,
                 kernel: str = PROPOSED,
                 sparsities=paper.SPARSITIES, verify: bool = True,
@@ -436,22 +483,27 @@ def run_scaling(models=paper.MODELS, policy: ScalePolicy = SMALL,
 
     All (model, nm, layer, cores) simulations go through the engine as
     one batch, so multicore shards fan out across the worker pool and
-    re-renders are answered from the cache.
+    re-renders are answered from the cache.  ``options`` accepts a
+    :class:`~repro.eval.schedules.SchedulePolicy` like the figure
+    drivers; each layer is sharded under its own resolved schedule.
     """
     config = config or ProcessorConfig.scaled_default()
     backend = resolve_backend(backend)
     core_counts = tuple(sorted(set(core_counts) | {1}))
-    base = (options if isinstance(options, Schedule)
-            else Schedule.from_options(options) if options is not None
-            else paper_schedule())
+    sched_policy = coerce_policy(options)
     jobs, meta = [], []
     for model in models:
         for nm in sparsities:
-            schedule = _applicable_options(kernel, base, nm)
-            if not isinstance(schedule, Schedule):
-                schedule = Schedule.from_options(schedule)
             layers = list(unique_gemm_layers(get_model(model)))
             for layer, mult in layers:
+                resolved = sched_policy.resolve(
+                    kernel, tuple(nm), model=model, layer=layer.name,
+                    gemm=layer.gemm, scaled=policy.scale(layer.gemm))
+                if resolved is None:
+                    resolved = paper_schedule()
+                elif not isinstance(resolved, Schedule):
+                    resolved = Schedule.from_options(resolved)
+                schedule = _applicable_options(kernel, resolved, nm)
                 scaled = padded_gemm(layer.gemm, *nm, policy=policy,
                                      tile_rows=schedule.tile_rows)
                 weight = mult * (layer.gemm.macs / scaled.macs)

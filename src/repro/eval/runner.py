@@ -309,12 +309,25 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
 
 
 def run_layer(workload: LayerWorkload, kernel: str,
-              options: KernelOptions | Schedule | None = None,
+              options=None,
               config: ProcessorConfig | None = None,
               verify: bool = True,
               backend: str | None = None,
               schedule: Schedule | None = None) -> KernelRun:
-    """Run one CNN layer workload through ``kernel``."""
+    """Run one CNN layer workload through ``kernel``.
+
+    ``options`` accepts legacy :class:`KernelOptions`, a full
+    :class:`Schedule`, or a per-layer
+    :class:`~repro.eval.schedules.SchedulePolicy` — the policy is
+    resolved against the workload's layer identity (name, N:M pattern,
+    original and simulated GEMM shapes) before the run.
+    """
+    from repro.eval.schedules import SchedulePolicy
+
+    if isinstance(options, SchedulePolicy):
+        options = options.resolve(
+            kernel, workload.nm, layer=workload.layer_name,
+            gemm=workload.original, scaled=workload.scaled)
     return run_spmm(workload.a, workload.b, kernel, options=options,
                     config=config, verify=verify, backend=backend,
                     schedule=schedule)

@@ -13,23 +13,41 @@ schedule) is answered from the on-disk cache without re-simulating.
 table, and persists the winning schedule as JSON
 (:func:`save_tuned_schedule`) for the figure/ablation commands to pick
 up via ``--schedule``.
+
+``repro tune --per-layer`` drives :func:`tune_per_layer`: every
+distinct layer GEMM of a model is swept **cross-backend** — the broad
+sweep runs on the cheap ``compressed-replay`` backend, then each
+layer's top-K finalists (plus the paper default) are re-simulated and
+ranked on the ``detailed`` backend — and the per-layer winners are
+persisted as a *schedule book*
+(:mod:`repro.eval.schedules`) that ``--policy tuned --schedule-book``
+feeds back into fig4/fig5/fig6/bench/scaling.
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.arch.config import ProcessorConfig
-from repro.errors import EngineError, KernelError
+from repro.arch.timing import resolve_backend
+from repro.errors import EngineError, KernelError, TuningError
 from repro.eval.comparison import PROPOSED
-from repro.eval.engine import SimJob, atomic_write_text, get_engine
+from repro.eval.engine import (
+    EngineCounters,
+    SimJob,
+    atomic_write_text,
+    get_engine,
+)
 from repro.eval.report import format_table
 from repro.eval.runner import KernelRun
+from repro.eval.schedules import BookEntry, ScheduleBook
 from repro.kernels.compiler import Schedule, get_spec
 from repro.kernels.dataflow import Dataflow, max_tile_rows
-from repro.nn.workload import ScalePolicy
+from repro.nn.models import get_model, unique_gemm_layers
+from repro.nn.workload import SMALL, ScalePolicy
 
 #: The paper's hand-picked schedule (Section IV-A): L=16, unroll x4,
 #: B-stationary, VL=16.
@@ -90,14 +108,28 @@ def candidate_schedules(kernel: str = PROPOSED, nm=(1, 4),
 
 @dataclass(frozen=True)
 class TuningPoint:
-    """One sweep point: a schedule and its simulated run."""
+    """One sweep point: a schedule and its simulated run.
+
+    ``scale`` is the full-size-MACs / simulated-MACs factor of the
+    point's workload.  It matters because ``tile_rows`` changes the
+    k-padding of a layer workload: two schedules simulate *different*
+    GEMMs, so raw cycles are not comparable across them — ``cost``
+    (full-size-equivalent cycles) is, and it is exactly the quantity
+    the figure totals sum.  Synthetic-GEMM sweeps keep ``scale=1``.
+    """
 
     schedule: Schedule
     run: KernelRun
+    scale: float = 1.0
 
     @property
     def cycles(self) -> float:
         return self.run.stats.cycles
+
+    @property
+    def cost(self) -> float:
+        """Full-size-equivalent cycles (the ranking metric)."""
+        return self.run.stats.cycles * self.scale
 
     @property
     def verified(self) -> bool:
@@ -118,7 +150,12 @@ class TuningResult:
 
     @property
     def best(self) -> TuningPoint:
-        return min(self.points, key=lambda p: p.cycles)
+        # ranked on full-size-equivalent cycles: on layer workloads,
+        # tile_rows changes the k-padding, so raw cycles would compare
+        # differently-sized simulated GEMMs (synthetic sweeps have
+        # scale=1 and rank on raw cycles as before)
+        return min(self.points, key=lambda p: (p.cost,
+                                               p.schedule.cache_key()))
 
     @property
     def best_beats_default(self) -> bool:
@@ -126,7 +163,7 @@ class TuningResult:
         default is in the sweep (tune() guarantees that), so this is a
         regression tripwire for the sweep/ranking machinery itself, not
         a statement about the search."""
-        return self.best.cycles <= self.default.cycles
+        return self.best.cost <= self.default.cost
 
     @property
     def all_verified(self) -> bool:
@@ -137,12 +174,14 @@ class TuningResult:
 
     @property
     def speedup_vs_default(self) -> float:
-        return self.default.cycles / self.best.cycles
+        return self.default.cost / self.best.cost
 
     def render(self) -> str:
         best = self.best
         rows = []
-        for point in sorted(self.points, key=lambda p: p.cycles):
+        for point in sorted(self.points,
+                            key=lambda p: (p.cost,
+                                           p.schedule.cache_key())):
             s = point.schedule
             rows.append([
                 "*" if point is best else "",
@@ -151,8 +190,8 @@ class TuningResult:
                 f"vl={s.vlmax}",
                 "zero" if s.init_c_zero else "load",
                 s.cores,
-                point.cycles,
-                self.default.cycles / point.cycles,
+                point.cost,
+                self.default.cost / point.cost,
             ])
         title = (f"Schedule tuning — {self.kernel} {self.nm[0]}:{self.nm[1]}"
                  f" on {self.workload} [{self.backend}] "
@@ -160,7 +199,7 @@ class TuningResult:
                  f"{self.speedup_vs_default:.2f}x vs paper default)")
         return format_table(
             ["", "tile rows", "unroll", "dataflow", "vl", "init C",
-             "cores", "cycles", "vs default"], rows, title=title)
+             "cores", "norm cycles", "vs default"], rows, title=title)
 
 
 def tune(kernel: str = PROPOSED, nm=(1, 4), *,
@@ -206,10 +245,26 @@ def tune(kernel: str = PROPOSED, nm=(1, 4), *,
                                 config=config, verify=verify,
                                 backend=backend, schedule=schedule)
 
+    if shape is None:
+        layer_obj = next((l for l in get_model(model)
+                          if l.name == layer), None)
+        if layer_obj is None:
+            raise EngineError(f"model {model!r} has no layer {layer!r}")
+
+        def scale_of(schedule: Schedule) -> float:
+            from repro.nn.workload import padded_gemm
+
+            scaled = padded_gemm(layer_obj.gemm, *nm, policy=policy,
+                                 tile_rows=schedule.tile_rows)
+            return layer_obj.gemm.macs / scaled.macs
+    else:
+        def scale_of(schedule: Schedule) -> float:
+            return 1.0
+
     engine = engine or get_engine()
     jobs = [job(s) for s in schedules]
     runs = engine.run(jobs)
-    points = tuple(TuningPoint(schedule=s, run=r)
+    points = tuple(TuningPoint(schedule=s, run=r, scale=scale_of(s))
                    for s, r in zip(schedules, runs))
     default = points[schedules.index(PAPER_SCHEDULE)]
     workload = (f"{model}/{layer}@{policy.name}" if shape is None
@@ -231,8 +286,8 @@ def save_tuned_schedule(path, result: TuningResult) -> None:
         "workload": result.workload,
         "backend": result.backend,
         "schedule": best.schedule.to_dict(),
-        "cycles": best.cycles,
-        "default_cycles": result.default.cycles,
+        "cycles": best.cost,
+        "default_cycles": result.default.cost,
         "speedup_vs_default": result.speedup_vs_default,
         "schedule_cache_key": best.schedule.cache_key(),
     }
@@ -241,12 +296,271 @@ def save_tuned_schedule(path, result: TuningResult) -> None:
 
 def load_tuned_schedule(path) -> Schedule:
     """Load a schedule saved by :func:`save_tuned_schedule` (also
-    accepts a bare ``Schedule.to_dict`` payload)."""
+    accepts a bare ``Schedule.to_dict`` payload).
+
+    A missing, unreadable, or structurally invalid file raises a clean
+    :class:`TuningError` naming the path — never a raw traceback from
+    the JSON layer.
+    """
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, ValueError) as exc:
-        raise EngineError(f"cannot read tuned schedule {path}: {exc}") \
+        raise TuningError(f"cannot read tuned schedule {path}: {exc}") \
             from None
     if not isinstance(payload, dict):
-        raise EngineError(f"tuned schedule {path} is not a JSON object")
-    return Schedule.from_dict(payload.get("schedule", payload))
+        raise TuningError(f"tuned schedule {path} is not a JSON object")
+    try:
+        return Schedule.from_dict(payload.get("schedule", payload))
+    except (KernelError, TypeError) as exc:
+        raise TuningError(
+            f"tuned schedule {path} is invalid: {exc}") from None
+
+
+# ======================================================================
+# per-layer tuning: every distinct layer of a model, cross-backend
+# ======================================================================
+#: Broad-sweep timing backend (cheap, bit-exact functional results).
+DEFAULT_SWEEP_BACKEND = "compressed-replay"
+
+#: Finalists per layer re-simulated on the final (detailed) backend.
+DEFAULT_TOP_K = 3
+
+
+@dataclass(frozen=True)
+class LayerTuning:
+    """One layer's tuning outcome.
+
+    ``sweep_points`` is the broad sweep (sweep backend);``points`` are
+    the top-K finalists plus the paper default re-simulated on the
+    final backend — the winner is ranked there, so a backend whose
+    cycle model drifts on some schedule shape cannot crown the wrong
+    schedule.
+    """
+
+    layer: str
+    shape: tuple[int, int, int]     #: full-size (rows, k, n) GEMM
+    multiplicity: int               #: identical-shape layers this covers
+    sweep_points: tuple[TuningPoint, ...]
+    points: tuple[TuningPoint, ...]
+    default: TuningPoint            #: paper default on the final backend
+
+    @property
+    def best(self) -> TuningPoint:
+        # ranked on full-size-equivalent cycles: schedules with
+        # different tile_rows pad (and therefore simulate) different
+        # GEMMs, so raw cycles would compare apples to oranges
+        return min(self.points, key=lambda p: (p.cost,
+                                               p.schedule.cache_key()))
+
+    @property
+    def speedup_vs_default(self) -> float:
+        return self.default.cost / self.best.cost
+
+    @property
+    def all_verified(self) -> bool:
+        return (all(p.verified for p in self.sweep_points)
+                and all(p.verified for p in self.points))
+
+
+@dataclass(frozen=True)
+class PerLayerTuningResult:
+    """Outcome of ``repro tune --per-layer``: one winner per layer."""
+
+    kernel: str
+    nm: tuple[int, int]
+    model: str
+    policy: str                 #: scale-policy name (provenance)
+    sweep_backend: str
+    backend: str                #: final (re-ranking) backend
+    layers: tuple[LayerTuning, ...]
+    sweep_counters: EngineCounters | None = None
+    final_counters: EngineCounters | None = None
+
+    @property
+    def all_verified(self) -> bool:
+        return all(layer.all_verified for layer in self.layers)
+
+    @property
+    def best_beats_default(self) -> bool:
+        """Every layer's winner <= its paper default on full-size-
+        equivalent cycles (holds by construction — the default is
+        always among the finalists and the ranking metric is the same
+        one the figure totals sum — so this is a regression tripwire
+        for the two-phase machinery)."""
+        return all(layer.best.cost <= layer.default.cost
+                   for layer in self.layers)
+
+    @property
+    def total_best_cycles(self) -> float:
+        """Multiplicity-weighted summed full-size-equivalent winner
+        cycles — the same quantity ``Fig4Result.total_cycles``
+        reports, so a tuned-policy figure run can never lose to the
+        fixed default."""
+        return sum(l.multiplicity * l.best.cost for l in self.layers)
+
+    @property
+    def total_default_cycles(self) -> float:
+        return sum(l.multiplicity * l.default.cost
+                   for l in self.layers)
+
+    @property
+    def speedup_vs_default(self) -> float:
+        return self.total_default_cycles / self.total_best_cycles
+
+    def to_book(self) -> ScheduleBook:
+        """The persistable schedule book: one entry per layer, plus a
+        ``*``/``*`` default entry carrying the most common winner (for
+        layers of *other* models the book has never seen)."""
+        entries = [
+            BookEntry(model=self.model, layer=layer.layer,
+                      kernel=self.kernel, nm=self.nm,
+                      schedule=layer.best.schedule, shape=layer.shape,
+                      cycles=layer.best.cost,
+                      default_cycles=layer.default.cost,
+                      backend=self.backend)
+            for layer in self.layers
+        ]
+        if entries:
+            counts = Counter(layer.best.schedule for layer in self.layers)
+            star = max(counts, key=lambda s: (counts[s], s.cache_key()))
+            entries.append(BookEntry(model="*", layer="*",
+                                     kernel=self.kernel, nm=self.nm,
+                                     schedule=star, backend=self.backend))
+        return ScheduleBook(entries=tuple(entries))
+
+    def render(self) -> str:
+        rows = []
+        for layer in self.layers:
+            s = layer.best.schedule
+            rows.append([
+                layer.layer,
+                "x".join(str(d) for d in layer.shape),
+                layer.multiplicity,
+                f"L={s.tile_rows} x{s.unroll} {s.dataflow.value}-stat"
+                + (f" x{s.cores}c" if s.cores > 1 else ""),
+                layer.best.cost,
+                layer.default.cost,
+                layer.speedup_vs_default,
+            ])
+        title = (f"Per-layer schedule tuning — {self.kernel} "
+                 f"{self.nm[0]}:{self.nm[1]} on {self.model}@{self.policy} "
+                 f"[sweep {self.sweep_backend} -> final {self.backend}] "
+                 f"({len(self.layers)} unique layers, "
+                 f"{self.speedup_vs_default:.2f}x vs paper default)")
+        table = format_table(
+            ["layer", "GEMM", "mult", "best schedule", "norm cycles",
+             "default norm cycles", "speedup"], rows, title=title)
+        if self.sweep_counters and self.final_counters:
+            table += (f"\nsweep: {self.sweep_counters.total} points "
+                      f"({self.sweep_counters.simulated} simulated)  "
+                      f"finalists: {self.final_counters.total} points "
+                      f"({self.final_counters.simulated} simulated)")
+        return table
+
+
+def tune_per_layer(kernel: str = PROPOSED, nm=(1, 4), *,
+                   model: str = DEFAULT_MODEL,
+                   policy: ScalePolicy | None = None,
+                   config: ProcessorConfig | None = None,
+                   backend: str | None = None,
+                   sweep_backend: str = DEFAULT_SWEEP_BACKEND,
+                   top_k: int = DEFAULT_TOP_K,
+                   cores=(1,), sweep_vlmax: bool = False,
+                   sweep_init_c: bool = False, verify: bool = True,
+                   layers=None, engine=None) -> PerLayerTuningResult:
+    """Tune every distinct layer GEMM of ``model`` cross-backend.
+
+    Phase 1 sweeps the full candidate space of every unique layer
+    through the cached engine on ``sweep_backend`` (compressed-replay
+    by default — cheap, functionally bit-exact).  Phase 2 re-simulates
+    each layer's ``top_k`` finalists plus the paper default on the
+    final ``backend`` (detailed by default) and crowns the winner
+    there.  Both phases are single engine batches, so re-tuning on a
+    warm cache is simulation-free and the resulting schedule book is
+    reproducible.
+
+    ``layers`` optionally restricts the run to a subset of unique
+    layer names (the CI smoke job tunes two layers).
+    """
+    policy = policy or SMALL
+    config = config or ProcessorConfig.scaled_default()
+    backend = resolve_backend(backend)
+    sweep_backend = resolve_backend(sweep_backend)
+    engine = engine or get_engine()
+    if top_k < 1:
+        raise EngineError(f"top_k must be >= 1, got {top_k}")
+    selected = list(unique_gemm_layers(get_model(model)))
+    if layers is not None:
+        by_name = {layer.name: (layer, mult) for layer, mult in selected}
+        missing = sorted(set(layers) - set(by_name))
+        if missing:
+            raise EngineError(
+                f"model {model!r} has no unique layer(s) {missing} "
+                f"(known: {', '.join(sorted(by_name))})")
+        selected = [by_name[name] for name in layers]
+    if not selected:
+        raise EngineError("tune_per_layer() needs at least one layer")
+    candidates = list(candidate_schedules(
+        kernel, nm, cores=tuple(cores), sweep_vlmax=sweep_vlmax,
+        sweep_init_c=sweep_init_c))
+    if PAPER_SCHEDULE not in candidates:
+        candidates.insert(0, PAPER_SCHEDULE)
+
+    def job(layer, schedule: Schedule, job_backend: str) -> SimJob:
+        return SimJob.for_layer(model, layer.name, nm, policy, kernel,
+                                config=config, verify=verify,
+                                backend=job_backend, schedule=schedule)
+
+    def point_scale(layer, schedule: Schedule) -> float:
+        # tile_rows changes the k-padding, so each schedule simulates
+        # its own GEMM; the ranking metric normalizes back to
+        # full-size-equivalent cycles (what the figure totals sum)
+        from repro.nn.workload import padded_gemm
+
+        scaled = padded_gemm(layer.gemm, *nm, policy=policy,
+                             tile_rows=schedule.tile_rows)
+        return layer.gemm.macs / scaled.macs
+
+    # phase 1: broad sweep, every (layer, schedule) point in one batch
+    start = engine.counters.snapshot()
+    sweep_runs = engine.run([job(layer, s, sweep_backend)
+                             for layer, _ in selected
+                             for s in candidates])
+    sweep_counters = engine.counters.since(start)
+    per_layer_sweeps = [
+        tuple(TuningPoint(schedule=s, run=r, scale=point_scale(layer, s))
+              for s, r in
+              zip(candidates, sweep_runs[i * len(candidates):
+                                         (i + 1) * len(candidates)]))
+        for i, (layer, _) in enumerate(selected)
+    ]
+    # phase 2: top-K finalists (plus the default) on the final backend
+    finalists = []
+    for points in per_layer_sweeps:
+        ranked = sorted(points,
+                        key=lambda p: (p.cost, p.schedule.cache_key()))
+        chosen = [p.schedule for p in ranked[:top_k]]
+        if PAPER_SCHEDULE not in chosen:
+            chosen.append(PAPER_SCHEDULE)
+        finalists.append(chosen)
+    start = engine.counters.snapshot()
+    final_runs = iter(engine.run([job(layer, s, backend)
+                                  for (layer, _), chosen
+                                  in zip(selected, finalists)
+                                  for s in chosen]))
+    final_counters = engine.counters.since(start)
+    out = []
+    for (layer, mult), chosen, sweep_points in zip(selected, finalists,
+                                                   per_layer_sweeps):
+        points = tuple(TuningPoint(schedule=s, run=next(final_runs),
+                                   scale=point_scale(layer, s))
+                       for s in chosen)
+        out.append(LayerTuning(
+            layer=layer.name,
+            shape=(layer.gemm.rows, layer.gemm.k, layer.gemm.n),
+            multiplicity=mult, sweep_points=sweep_points, points=points,
+            default=points[chosen.index(PAPER_SCHEDULE)]))
+    return PerLayerTuningResult(
+        kernel=kernel, nm=tuple(nm), model=model, policy=policy.name,
+        sweep_backend=sweep_backend, backend=backend, layers=tuple(out),
+        sweep_counters=sweep_counters, final_counters=final_counters)

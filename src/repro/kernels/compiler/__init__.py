@@ -47,6 +47,8 @@ from repro.kernels.compiler.spec import (
     get_spec,
     normalize_schedule,
     parse_dataflow,
+    project_schedule,
+    schedule_incompatibility,
 )
 from repro.kernels.compiler.tiling import TilePlan, plan_tiles, shard_rows
 from repro.kernels.layout import StagedDense, StagedSpMM
@@ -70,6 +72,8 @@ __all__ = [
     "normalize_schedule",
     "parse_dataflow",
     "plan_tiles",
+    "project_schedule",
+    "schedule_incompatibility",
     "shard_rows",
 ]
 

@@ -233,6 +233,57 @@ def coerce_schedule(value, vlmax: int | None = None) -> Schedule:
         f"expected Schedule or KernelOptions, got {type(value).__name__}")
 
 
+def schedule_incompatibility(spec: KernelSpec, schedule: Schedule,
+                             nm: tuple[int, int], *,
+                             num_vregs: int = 32,
+                             reserved_vregs: int = 16) -> str | None:
+    """Why ``schedule`` cannot drive ``spec`` at ``nm`` (None = it can).
+
+    A tuned schedule only applies to kernels that can actually schedule
+    it — e.g. a rowwise-tuned A-stationary or L=64 winner cannot drive
+    the vindexmac kernel (B-stationary by construction, L bounded by
+    the vector-register budget).  Returns a human-readable reason
+    string for the incompatibility, or ``None`` when the schedule is
+    valid for the spec.
+    """
+    from repro.kernels.dataflow import max_tile_rows, validate_tile_rows
+
+    try:
+        normalized = normalize_schedule(spec, schedule)
+        if normalized.b_residency == "vrf":
+            validate_tile_rows(normalized.tile_rows, *nm,
+                               normalized.vlmax, num_vregs=num_vregs,
+                               reserved_vregs=reserved_vregs)
+        elif normalized.tile_rows > max_tile_rows(*nm, normalized.vlmax):
+            raise KernelError("tile exceeds the Section III bound")
+    except KernelError as exc:
+        return str(exc)
+    return None
+
+
+def project_schedule(kernel: str, schedule: Schedule,
+                     nm: tuple[int, int], *,
+                     num_vregs: int = 32,
+                     reserved_vregs: int = 16
+                     ) -> tuple[Schedule, str | None]:
+    """Project ``schedule`` onto what ``kernel`` can run at ``nm``.
+
+    The compatibility projection behind ``--schedule``/``--policy``:
+    returns ``(schedule, None)`` when the kernel can schedule it
+    verbatim, else ``(paper-default layout with the requested core
+    count, reason)`` — sharding applies to every kernel even when the
+    tuned layout knobs do not.  The original (not normalized) schedule
+    is handed back on success so cache identities match what the
+    caller persisted; the compiler re-normalizes at lowering time.
+    """
+    reason = schedule_incompatibility(get_spec(kernel), schedule, nm,
+                                      num_vregs=num_vregs,
+                                      reserved_vregs=reserved_vregs)
+    if reason is None:
+        return schedule, None
+    return replace(Schedule(), cores=schedule.cores), reason
+
+
 def normalize_schedule(spec: KernelSpec, schedule: Schedule) -> Schedule:
     """Resolve ``auto`` residency and validate the schedule against the
     spec (the first compiler pass)."""

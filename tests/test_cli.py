@@ -118,6 +118,76 @@ def test_fig4_accepts_tuned_schedule(capsys, tmp_path):
     assert "Fig. 4" in out
 
 
+def test_fig4_scale_flag(capsys):
+    code, out = run_cli(capsys, "fig4", "--scale", "tiny")
+    assert code == 0
+    assert "Fig. 4" in out
+
+
+def test_fig4_policy_heuristic(capsys):
+    code, out = run_cli(capsys, "fig4", "--scale", "tiny",
+                        "--policy", "heuristic")
+    assert code == 0
+    assert "Fig. 4" in out
+
+
+def test_tune_per_layer_writes_book_then_fig4_runs_tuned(capsys,
+                                                         tmp_path):
+    book = tmp_path / "book.json"
+    table = tmp_path / "table.txt"
+    code, out = run_cli(capsys, "tune", "--per-layer", "--policy", "tiny",
+                        "--layers", "conv2_1_3x3", "conv3_1_3x3",
+                        "--check", "--book-out", str(book),
+                        "--table-out", str(table))
+    assert code == 0
+    assert "Per-layer schedule tuning" in out
+    assert "FAIL" not in out
+    assert "Per-layer schedule tuning" in table.read_text()
+    from repro.eval.schedules import load_schedule_book
+
+    loaded = load_schedule_book(book)
+    assert len(loaded) == 3  # 2 layers + the '*' default
+    code, out = run_cli(capsys, "fig4", "--scale", "tiny",
+                        "--policy", "tuned",
+                        "--schedule-book", str(book))
+    assert code == 0
+    assert "Fig. 4" in out
+
+
+def test_fig4_policy_tuned_without_book_fails_cleanly(capsys):
+    code = main(["fig4", "--scale", "tiny", "--policy", "tuned"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "--schedule-book" in captured.err
+
+
+def test_conflicting_policy_flags_fail_loudly(capsys, tmp_path):
+    """--schedule/--schedule-book are never silently dropped."""
+    book = tmp_path / "book.json"
+    book.write_text('{"version": 1, "entries": []}')
+    for argv in (["fig4", "--policy", "heuristic", "--schedule",
+                  str(book)],
+                 ["fig4", "--policy", "heuristic", "--schedule-book",
+                  str(book)],
+                 ["fig4", "--policy", "tuned", "--schedule-book",
+                  str(book), "--schedule", str(book)],
+                 ["fig4", "--policy", "fixed", "--schedule-book",
+                  str(book)]):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 2, argv
+        assert "error:" in captured.err, argv
+
+
+def test_missing_schedule_file_is_a_clean_error(capsys):
+    code = main(["fig4", "--scale", "tiny", "--schedule",
+                 "/nonexistent/schedule.json"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot read tuned schedule" in captured.err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
