@@ -17,6 +17,8 @@ program counter).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.arch.config import ProcessorConfig
@@ -61,6 +63,21 @@ class FunctionalCore:
         handlers = self.handlers
         for instr in stream:
             handlers[instr.op](instr)
+
+    def state_fingerprint(self) -> str:
+        """Digest over all architectural state (registers + memory).
+
+        Two cores that ran the same program through different replay
+        strategies must produce identical fingerprints; the
+        batch-replay equivalence tests gate on this.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.array(self.xrf.values, dtype=np.int64).tobytes())
+        digest.update(np.array(self.frf.values, dtype=np.float64).tobytes())
+        digest.update(self.vrf.raw.tobytes())
+        digest.update(np.int64(self.vl).tobytes())
+        digest.update(self.mem._buf.tobytes())
+        return digest.hexdigest()
 
     # ==================================================================
     # handler construction
@@ -474,3 +491,12 @@ class FunctionalCore:
         f32 = self.vrf.f32
         f32[instr.vd, :vl] += f32[instr.vs2, 0] * f32[index, :vl]
         return None
+
+
+#: Bytes moved per scalar memory op, FP included — the shared vocabulary
+#: of the replaying backends and the loop-summary pass (trace/analytic).
+SCALAR_LOAD_BYTES = {op: size
+                     for op, (size, _) in FunctionalCore._LOAD_SIZES.items()}
+SCALAR_LOAD_BYTES[Op.FLW] = 4
+SCALAR_STORE_BYTES = dict(FunctionalCore._STORE_SIZES)
+SCALAR_STORE_BYTES[Op.FSW] = 4

@@ -7,13 +7,22 @@ loop-annotated :class:`~repro.isa.trace.Trace`:
     every dynamic instruction is timed (the reference model);
 ``compressed-replay``
     steady-state loop iterations are timed once and extrapolated,
-    with all skipped iterations still executed bit-exactly.
+    with all skipped iterations still executed bit-exactly;
+``batch-replay``
+    compressed-replay whose replayed middles run as numpy-batched
+    lanes instead of per-instruction interpretation — same bit-exact
+    results and exact access counts, much faster per iteration;
+``analytic-sampled``
+    no execution at all: cycles are predicted from static loop
+    features through a calibration table fitted against ``detailed``
+    runs (``repro calibrate``); instruction-class counts stay exact
+    but results and memory counters are not produced
+    (``functional = models_memory = False``).
 
 Select a backend by name everywhere a simulation is launched —
 ``run_spmm(..., backend=...)``, ``SimJob(backend=...)``, the CLI's
 ``--backend`` flag, or the ``REPRO_BACKEND`` environment variable.
-Future backends (batched numpy timing) plug in via
-:func:`register_backend`.
+Additional backends plug in via :func:`register_backend`.
 
 Multi-core sharded simulation is a *merge layer* on top of the
 backends, not a backend itself: :mod:`repro.arch.timing.multicore`
@@ -27,7 +36,9 @@ from __future__ import annotations
 
 import os
 
+from repro.arch.timing.analytic import AnalyticSampledBackend
 from repro.arch.timing.base import BackendResult, TimingBackend
+from repro.arch.timing.batch import BatchReplayBackend
 from repro.arch.timing.compressed import CompressedReplayBackend
 from repro.arch.timing.detailed import DetailedBackend
 from repro.arch.timing.multicore import (
@@ -39,6 +50,8 @@ from repro.errors import BackendError
 
 DETAILED = DetailedBackend.name
 COMPRESSED_REPLAY = CompressedReplayBackend.name
+BATCH_REPLAY = BatchReplayBackend.name
+ANALYTIC_SAMPLED = AnalyticSampledBackend.name
 
 #: The default backend preserves the simulator's historical behaviour.
 DEFAULT_BACKEND = DETAILED
@@ -57,6 +70,17 @@ def register_backend(cls: type[TimingBackend]) -> type[TimingBackend]:
 
 register_backend(DetailedBackend)
 register_backend(CompressedReplayBackend)
+register_backend(BatchReplayBackend)
+register_backend(AnalyticSampledBackend)
+
+
+def get_backend_class(name: str | None = None) -> type[TimingBackend]:
+    """The backend class selected by :func:`resolve_backend`.
+
+    Use this to consult capability traits (``functional``,
+    ``models_memory``) without instantiating the backend.
+    """
+    return _BACKENDS[resolve_backend(name)]
 
 
 def available_backends() -> tuple[str, ...]:
@@ -90,7 +114,11 @@ def get_backend(name: str | None = None, **kwargs) -> TimingBackend:
 
 
 __all__ = [
+    "ANALYTIC_SAMPLED",
+    "AnalyticSampledBackend",
+    "BATCH_REPLAY",
     "BackendResult",
+    "BatchReplayBackend",
     "COMPRESSED_REPLAY",
     "CompressedReplayBackend",
     "DEFAULT_BACKEND",
@@ -101,6 +129,7 @@ __all__ = [
     "TimingBackend",
     "available_backends",
     "get_backend",
+    "get_backend_class",
     "merge_core_results",
     "register_backend",
     "resolve_backend",

@@ -2,9 +2,13 @@
 
 A backend consumes a loop-annotated :class:`~repro.isa.trace.Trace`
 through a :class:`~repro.arch.processor.DecoupledProcessor` and decides
-*which* dynamic instructions get detailed timing.  Functional execution
-is never optional — every backend leaves registers and memory bit-exact
-— only the cycle/stat accounting strategy differs.
+*which* dynamic instructions get detailed timing.  Backends advertise
+two capability traits: ``functional`` (registers and memory are
+bit-exact after the run) and ``models_memory`` (cache/DRAM counters are
+meaningful).  Every executing backend keeps functional execution
+bit-exact and differs only in the cycle/stat accounting strategy; the
+``analytic-sampled`` backend predicts cycles from loop features without
+executing and sets both traits to ``False``.
 """
 
 from __future__ import annotations
@@ -41,6 +45,16 @@ class TimingBackend(ABC):
 
     #: Registry name (also the ``--backend`` CLI value).
     name: ClassVar[str]
+
+    #: Whether the backend executes the trace functionally: registers
+    #: and memory are bit-exact after :meth:`run`.  Purely analytic
+    #: backends set this to ``False``; result verification and
+    #: bit-exactness checks are skipped for them.
+    functional: ClassVar[bool] = True
+
+    #: Whether the backend drives the cache/DRAM models (so hierarchy
+    #: hit/miss/traffic counters in the stats are meaningful).
+    models_memory: ClassVar[bool] = True
 
     @abstractmethod
     def run(self, proc: "DecoupledProcessor",

@@ -355,13 +355,17 @@ def cmd_bench(args) -> int:
     for i, name in enumerate(names, 1):
         title, stem, driver = ARTIFACTS[name]
         start = time.perf_counter()
+        before = engine.counters.snapshot()
         result = driver(policy, config, backend, schedule)
         text = result.render()
         elapsed = time.perf_counter() - start
+        delta = engine.counters.since(before)
+        speed = (f" ({delta.throughput / 1e3:,.0f}k instr/s simulated)"
+                 if delta.sim_seconds > 0 else "")
         path = out_dir / f"{stem}.txt"
         atomic_write_text(path, text + "\n")
         print(f"[{i}/{len(names)}] {title} regenerated in "
-              f"{elapsed:.1f}s -> {path}")
+              f"{elapsed:.1f}s{speed} -> {path}")
         if args.show:
             print(text)
             print()
@@ -508,6 +512,8 @@ def cmd_cache(args) -> int:
     print(f"cache schema: {CACHE_SCHEMA}")
     print(f"entries:      {count}")
     print(f"total size:   {size / 1024:.1f} KiB")
+    for backend, entries in cache.backend_counts().items():
+        print(f"  {backend + ':':20s}{entries} entries")
     if args.clear:
         removed = cache.clear()
         print(f"cleared:      {removed} entries")
@@ -563,28 +569,57 @@ def cmd_quickcheck(args) -> int:
 
 
 def cmd_crosscheck(args) -> int:
-    """Gate `compressed-replay` against `detailed` (CI smoke job)."""
+    """Gate approximate backends against `detailed` (CI smoke job)."""
     import numpy as np
 
-    from repro.analytic.validation import (
-        BACKEND_CYCLE_TOLERANCE,
-        validate_backend,
-    )
+    from repro.analytic.validation import validate_backend
     from repro.eval.comparison import BASELINE, PROPOSED
     from repro.nn.workload import make_workload
 
-    tolerance = (args.tolerance if args.tolerance is not None
-                 else BACKEND_CYCLE_TOLERANCE)
+    backends = (args.backend if args.backend != ["all"]
+                else [b for b in available_backends() if b != "detailed"])
     ok = True
-    for rows, k, n, nm in ((64, 64, 32, (1, 4)), (64, 128, 32, (2, 4)),
-                           (32, 64, 64, (2, 8))):
-        rng = np.random.default_rng(0)
-        a, b = make_workload(rows, k, n, *nm, rng)
-        for kernel in (BASELINE, PROPOSED):
-            report = validate_backend(a, b, kernel, tolerance=tolerance)
-            print(f"{rows}x{k}x{n} {nm[0]}:{nm[1]}  {report.summary()}")
-            ok &= report.ok
+    for backend in backends:
+        print(f"-- {backend} vs detailed --")
+        for rows, k, n, nm in ((64, 64, 32, (1, 4)), (64, 128, 32, (2, 4)),
+                               (32, 64, 64, (2, 8))):
+            rng = np.random.default_rng(0)
+            a, b = make_workload(rows, k, n, *nm, rng)
+            for kernel in (BASELINE, PROPOSED):
+                report = validate_backend(a, b, kernel, backend=backend,
+                                          tolerance=args.tolerance)
+                print(f"{rows}x{k}x{n} {nm[0]}:{nm[1]}  {report.summary()}")
+                ok &= report.ok
     return 0 if ok else 1
+
+
+def cmd_calibrate(args) -> int:
+    """Fit the analytic-sampled calibration table from detailed runs."""
+    from pathlib import Path as _Path
+
+    from repro.analytic.calibration import (
+        DEFAULT_TABLE_PATH,
+        reset_cache,
+    )
+    from repro.analytic.fit import run_calibration
+
+    policy, config = _policy_and_config(args)
+    engine = _install_engine(args)
+    table, errors = run_calibration(model=args.model, policy=policy,
+                                    config=config)
+    out = _Path(args.out) if args.out else DEFAULT_TABLE_PATH
+    table.save(out)
+    reset_cache()
+    abs_errors = sorted(errors, key=lambda e: -abs(e[1]))
+    print(f"fitted {len(errors)} samples at policy {policy.name!r}: "
+          f"relative RMS error {table.residual:.2%}, "
+          f"worst {abs_errors[0][1]:+.2%} ({abs_errors[0][0]})")
+    if args.show_errors:
+        for label, err in abs_errors:
+            print(f"  {label:48s} {err:+.2%}")
+    print(f"[{engine.summary()}]")
+    print(f"calibration table -> {out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -758,11 +793,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "crosscheck",
-        help="validate compressed-replay against detailed (tolerance gate)")
+        help="validate approximate backends against detailed "
+             "(tolerance gate)")
+    p.add_argument("--backend", nargs="+", default=["compressed-replay"],
+                   choices=[b for b in available_backends()
+                            if b != "detailed"] + ["all"],
+                   help="backend(s) to gate (default: compressed-replay; "
+                        "'all' gates every approximate backend)")
     p.add_argument("--tolerance", type=float, default=None,
-                   help="relative cycle tolerance (default: the "
-                        "documented BACKEND_CYCLE_TOLERANCE)")
+                   help="relative cycle tolerance (default: each "
+                        "backend's documented tolerance)")
     p.set_defaults(fn=cmd_crosscheck)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit the analytic-sampled calibration table from "
+             "detailed runs")
+    p.add_argument("--model", default="resnet50", choices=list_models(),
+                   help="CNN whose layers form the fit set")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="where to write the table (default: the "
+                        "packaged calibration_default.json)")
+    p.add_argument("--show-errors", action="store_true",
+                   help="print the per-sample fit errors")
+    _add_policy_arg(p)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_calibrate)
     return parser
 
 

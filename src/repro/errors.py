@@ -44,3 +44,8 @@ class TuningError(EngineError):
 
 class BackendError(ReproError):
     """A timing backend is unknown or misconfigured."""
+
+
+class CalibrationError(BackendError):
+    """An analytic calibration table is missing, unreadable, or does not
+    match this build's feature set."""

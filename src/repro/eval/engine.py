@@ -74,7 +74,13 @@ from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 #: ``cores``/``shard`` fields (hashed via the schedule), and multicore
 #: results carry merged makespan stats that single-core entries must
 #: never answer.
-CACHE_SCHEMA = 4
+#: Schema 5: batch-replay + analytic-sampled backends — the replay
+#: bracket's pricing changed (pooled probes, regressed row-miss slope,
+#: lead/trail/chunk defaults), so compressed-replay cycles differ from
+#: schema 4; analytic jobs additionally fold the active calibration
+#: table's digest into the hash, so a refit can never be answered by
+#: stale predictions.
+CACHE_SCHEMA = 5
 
 
 def default_cache_dir() -> Path:
@@ -214,6 +220,11 @@ def _canonical(value):
 def job_hash(job: SimJob) -> str:
     """Stable content hash of a job (identical across processes)."""
     payload = {"schema": CACHE_SCHEMA, "job": _canonical(job)}
+    if job.backend == "analytic-sampled":
+        # an analytic prediction is a function of the calibration table,
+        # not just the job: refitting must invalidate cached predictions
+        from repro.analytic.calibration import active_digest
+        payload["calibration"] = active_digest()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -350,6 +361,21 @@ class ResultCache:
             count += 1
         return count, size
 
+    def backend_counts(self) -> dict[str, int]:
+        """Entry count per timing backend (for ``repro cache``).
+
+        Unreadable entries are tallied under ``"?"`` rather than
+        deleted — :meth:`load` handles eviction on actual use.
+        """
+        counts: dict[str, int] = {}
+        for path in self.entries():
+            try:
+                backend = json.loads(path.read_text())["backend"]
+            except (OSError, ValueError, KeyError):
+                backend = "?"
+            counts[backend] = counts.get(backend, 0) + 1
+        return dict(sorted(counts.items()))
+
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed."""
         removed = 0
@@ -384,23 +410,40 @@ class EngineCounters:
     simulated: int = 0   #: jobs actually executed on the simulator
     disk_hits: int = 0   #: jobs answered from the on-disk cache
     memo_hits: int = 0   #: jobs answered from the in-process memo
+    #: dynamic instructions and wall-clock seconds spent inside the
+    #: timing backends of freshly simulated jobs (cache hits cost
+    #: nothing) — the ``repro bench`` throughput column.
+    sim_instructions: int = 0
+    sim_seconds: float = 0.0
 
     @property
     def total(self) -> int:
         return self.simulated + self.disk_hits + self.memo_hits
+
+    @property
+    def throughput(self) -> float:
+        """Simulated instructions per second of backend wall-clock."""
+        if self.sim_seconds <= 0.0:
+            return 0.0
+        return self.sim_instructions / self.sim_seconds
 
     def snapshot(self) -> "EngineCounters":
         """A frozen copy of the current counts (for phase accounting,
         e.g. the per-layer tuner's sweep-vs-finalist split)."""
         return EngineCounters(simulated=self.simulated,
                               disk_hits=self.disk_hits,
-                              memo_hits=self.memo_hits)
+                              memo_hits=self.memo_hits,
+                              sim_instructions=self.sim_instructions,
+                              sim_seconds=self.sim_seconds)
 
     def since(self, start: "EngineCounters") -> "EngineCounters":
         """The counts accumulated after ``start`` was snapshotted."""
-        return EngineCounters(simulated=self.simulated - start.simulated,
-                              disk_hits=self.disk_hits - start.disk_hits,
-                              memo_hits=self.memo_hits - start.memo_hits)
+        return EngineCounters(
+            simulated=self.simulated - start.simulated,
+            disk_hits=self.disk_hits - start.disk_hits,
+            memo_hits=self.memo_hits - start.memo_hits,
+            sim_instructions=self.sim_instructions - start.sim_instructions,
+            sim_seconds=self.sim_seconds - start.sim_seconds)
 
 
 class ExperimentEngine:
@@ -464,6 +507,8 @@ class ExperimentEngine:
             runs = self._execute(list(pending.values()))
             self.counters.simulated += len(pending)
             for key, job, run in zip(pending, pending.values(), runs):
+                self.counters.sim_instructions += run.stats.instructions
+                self.counters.sim_seconds += run.wall_seconds
                 self._memo[key] = run
                 if self.cache:
                     self.cache.store(key, job, run)
@@ -515,9 +560,14 @@ class ExperimentEngine:
         """One-line accounting, e.g. for the ``repro bench`` report."""
         c = self.counters
         where = str(self.cache.root) if self.cache else "disabled"
+        speed = ""
+        if c.sim_seconds > 0.0:
+            speed = (f", {c.sim_instructions:,} instrs in "
+                     f"{c.sim_seconds:.1f}s "
+                     f"({c.throughput / 1e3:,.0f}k instr/s)")
         return (f"engine: {c.simulated} simulations, "
                 f"{c.disk_hits} disk-cache hits, "
-                f"{c.memo_hits} memo hits "
+                f"{c.memo_hits} memo hits{speed} "
                 f"(workers {self.jobs}, cache {where})")
 
 

@@ -15,6 +15,7 @@ sequentially with identical results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.arch.timing import (
     DETAILED,
     BackendResult,
     get_backend,
+    get_backend_class,
     merge_core_results,
     resolve_backend,
 )
@@ -62,6 +64,12 @@ class KernelRun:
     def cores(self) -> int:
         """Simulated cores that produced this result (1 = single-core)."""
         return self.stats.extra.get("cores", 1)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host wall-clock the simulation took (0.0 for cached runs
+        loaded from a cache written before this field existed)."""
+        return self.stats.extra.get("wall_seconds", 0.0)
 
 
 @dataclass(frozen=True)
@@ -137,7 +145,9 @@ def run_spmm_shard(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
     trace = get_trace_kernel(kernel)(staged, schedule.for_shard(shard))
+    t0 = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
+    result.stats.extra["wall_seconds"] = time.perf_counter() - t0
     start, count = shard_rows(staged.rows, schedule.cores)[shard]
     c = read_result(proc.mem, staged)[start:start + count].copy()
     return ShardRun(kernel=kernel, shard=shard, row_start=start,
@@ -162,8 +172,10 @@ def merge_shard_runs(kernel: str, shards, backend: str,
             f"kernel {kernel!r}: incomplete shard set "
             f"{[s.shard for s in shards]}")
     merged = merge_core_results([s.result for s in shards], backend)
+    merged.merged.stats.extra["wall_seconds"] = sum(
+        s.result.stats.extra.get("wall_seconds", 0.0) for s in shards)
     verified = False
-    if verify:
+    if verify and get_backend_class(backend).functional:
         if a is None or b is None:
             raise SimulationError(
                 "merge_shard_runs needs the operands to verify")
@@ -207,9 +219,14 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
     trace = get_trace_kernel(kernel)(staged, schedule)
+    start = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
+    result.stats.extra["wall_seconds"] = time.perf_counter() - start
     verified = False
-    if verify:
+    # a non-functional backend (analytic-sampled) never writes C;
+    # there is nothing to verify, and reading the result would compare
+    # unwritten zeros against the reference
+    if verify and get_backend_class(backend).functional:
         _verify_result(kernel, read_result(proc.mem, staged), a, b)
         verified = True
     return KernelRun(kernel=kernel, stats=result.stats, verified=verified,
@@ -253,7 +270,9 @@ def run_csr_shard(a: NMSparseMatrix, b: np.ndarray, schedule: Schedule,
     csr = CSRMatrix.from_dense(a.to_dense())
     staged = stage_csr(proc.mem, csr, b)
     trace = trace_csr_spmm(staged, schedule=schedule.for_shard(shard))
+    t0 = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
+    result.stats.extra["wall_seconds"] = time.perf_counter() - t0
     start, count = shard_rows(staged.rows, schedule.cores)[shard]
     c = read_csr_result(proc.mem, staged)[start:start + count].copy()
     return ShardRun(kernel=CSR_KERNEL, shard=shard, row_start=start,
@@ -298,10 +317,12 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
     proc = DecoupledProcessor(config)
     csr = CSRMatrix.from_dense(a.to_dense())
     staged = stage_csr(proc.mem, csr, b)
+    t0 = time.perf_counter()
     result = get_backend(backend).run(
         proc, trace_csr_spmm(staged, schedule=schedule))
+    result.stats.extra["wall_seconds"] = time.perf_counter() - t0
     verified = False
-    if verify:
+    if verify and get_backend_class(backend).functional:
         _verify_result(CSR_KERNEL, read_csr_result(proc.mem, staged), a, b)
         verified = True
     return KernelRun(kernel=CSR_KERNEL, stats=result.stats,

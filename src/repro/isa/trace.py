@@ -36,7 +36,14 @@ import hashlib
 from contextlib import contextmanager
 
 from repro.errors import KernelError
-from repro.isa.instructions import Instr
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    SCALAR_LOAD_OPS,
+    SCALAR_STORE_OPS,
+    VECTOR_DEST_OPS,
+    Instr,
+    Op,
+)
 
 
 class Block:
@@ -66,7 +73,7 @@ class Loop:
     """
 
     __slots__ = ("body", "repeat", "steady", "label", "_has_memory",
-                 "_sig")
+                 "_summary")
 
     def __init__(self, body, repeat: int, steady: bool = True,
                  label: str = ""):
@@ -105,6 +112,17 @@ class Loop:
                 result = True
                 break
         self._has_memory = result
+        return result
+
+    def summary(self, limit: int | None = None):
+        """The cached :func:`summarize_nodes` of one body iteration."""
+        try:
+            return self._summary
+        except AttributeError:
+            pass
+        result = summarize_nodes(self.body, limit)
+        if result is not None:  # a limit miss is not worth caching
+            self._summary = result
         return result
 
     def __repr__(self) -> str:
@@ -177,6 +195,207 @@ class Trace:
 
     def __repr__(self) -> str:
         return f"Trace({len(self.nodes)} nodes, {self.dynamic_length} instrs)"
+
+
+# ======================================================================
+# loop summaries: static single-iteration analysis for fast replay
+# ======================================================================
+
+#: Vector ops that read their destination register before writing it
+#: (accumulate / merge / tail-preserving semantics).
+_V_READS_DEST = frozenset({
+    Op.VFMACC_VF, Op.VFMACC_VV, Op.VMACC_VV, Op.VMACC_VX,
+    Op.VINDEXMAC_VX, Op.VREDSUM_VS, Op.VFREDUSUM_VS,
+    Op.VSLIDEUP_VX, Op.VSLIDEUP_VI, Op.VMV_S_X, Op.VFMV_S_F,
+})
+
+#: Vector ops whose write does NOT cover the whole active slice
+#: ``[0:vl]`` (single-element or tail-preserving writes).  They never
+#: count as a *defining* write in the read-before-write analysis.
+_V_PARTIAL_WRITE = frozenset({
+    Op.VMV_S_X, Op.VFMV_S_F, Op.VREDSUM_VS, Op.VFREDUSUM_VS,
+    Op.VSLIDEUP_VX, Op.VSLIDEUP_VI,
+})
+
+_V_USES_VS1 = frozenset({
+    Op.VADD_VV, Op.VSUB_VV, Op.VAND_VV, Op.VOR_VV, Op.VXOR_VV,
+    Op.VMIN_VV, Op.VMINU_VV, Op.VMAX_VV, Op.VMAXU_VV, Op.VMUL_VV,
+    Op.VMACC_VV, Op.VFMACC_VV, Op.VFADD_VV, Op.VFSUB_VV, Op.VFMUL_VV,
+    Op.VREDSUM_VS, Op.VFREDUSUM_VS, Op.VMV_V_V,
+})
+
+_V_USES_VS2 = frozenset({
+    Op.VADD_VX, Op.VADD_VI, Op.VADD_VV, Op.VMUL_VX, Op.VFMACC_VF,
+    Op.VFMACC_VV, Op.VFMUL_VF, Op.VSLIDE1DOWN_VX, Op.VSLIDEDOWN_VX,
+    Op.VSLIDEDOWN_VI, Op.VMV_X_S, Op.VFMV_F_S, Op.VINDEXMAC_VX,
+    Op.VSUB_VV, Op.VSUB_VX, Op.VRSUB_VX, Op.VRSUB_VI,
+    Op.VAND_VV, Op.VAND_VX, Op.VOR_VV, Op.VOR_VX, Op.VXOR_VV, Op.VXOR_VX,
+    Op.VMIN_VV, Op.VMIN_VX, Op.VMINU_VV, Op.VMINU_VX,
+    Op.VMAX_VV, Op.VMAX_VX, Op.VMAXU_VV, Op.VMAXU_VX,
+    Op.VMUL_VV, Op.VMACC_VV, Op.VMACC_VX, Op.VREDSUM_VS,
+    Op.VFADD_VV, Op.VFADD_VF, Op.VFSUB_VV, Op.VFSUB_VF, Op.VFMUL_VV,
+    Op.VFREDUSUM_VS, Op.VSLIDEUP_VX, Op.VSLIDEUP_VI, Op.VSLIDE1UP_VX,
+})
+
+#: Vector-domain ops that read an integer scalar through ``rs1``.
+_V_READS_X = frozenset({
+    Op.VADD_VX, Op.VMUL_VX, Op.VSLIDE1DOWN_VX, Op.VSLIDEDOWN_VX,
+    Op.VSUB_VX, Op.VRSUB_VX, Op.VAND_VX, Op.VOR_VX, Op.VXOR_VX,
+    Op.VMIN_VX, Op.VMINU_VX, Op.VMAX_VX, Op.VMAXU_VX, Op.VMACC_VX,
+    Op.VSLIDEUP_VX, Op.VSLIDE1UP_VX, Op.VMV_V_X, Op.VMV_S_X,
+    Op.VINDEXMAC_VX,
+})
+
+#: Vector-domain ops that read an FP scalar through ``rs1``.
+_V_READS_F = frozenset({
+    Op.VFMACC_VF, Op.VFMUL_VF, Op.VFMV_S_F, Op.VFADD_VF, Op.VFSUB_VF,
+})
+
+_ALU_RR_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SRA,
+    Op.SLT, Op.SLTU, Op.MUL,
+})
+_ALU_RI_OPS = frozenset({
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SRAI,
+    Op.SLTI, Op.SLTIU,
+})
+
+_EMPTY = ()
+
+
+def instruction_roles(instr):
+    """Register operands read and written by one instruction.
+
+    Returns ``(x_reads, x_writes, f_reads, f_writes, v_reads, v_writes)``
+    as tuples of register indices.  Unused operand slots are *not*
+    reported (the flat :class:`~repro.isa.instructions.Instr` record
+    stores 0 in them, which would alias real register 0 for the FP and
+    vector files).  ``vindexmac.vx``'s dynamically addressed vector
+    source is not included — callers that care must resolve it from the
+    runtime value of ``x[rs1]``.
+    """
+    op = instr.op
+    if op in _ALU_RR_OPS:
+        return (instr.rs1, instr.rs2), (instr.rd,), \
+            _EMPTY, _EMPTY, _EMPTY, _EMPTY
+    if op in _ALU_RI_OPS:
+        return (instr.rs1,), (instr.rd,), _EMPTY, _EMPTY, _EMPTY, _EMPTY
+    if op in (Op.LUI, Op.AUIPC):
+        return _EMPTY, (instr.rd,), _EMPTY, _EMPTY, _EMPTY, _EMPTY
+    if op in SCALAR_LOAD_OPS:
+        if op is Op.FLW:
+            return (instr.rs1,), _EMPTY, _EMPTY, (instr.rd,), \
+                _EMPTY, _EMPTY
+        return (instr.rs1,), (instr.rd,), _EMPTY, _EMPTY, _EMPTY, _EMPTY
+    if op in SCALAR_STORE_OPS:
+        if op is Op.FSW:
+            return (instr.rs1,), _EMPTY, (instr.rs2,), _EMPTY, \
+                _EMPTY, _EMPTY
+        return (instr.rs1, instr.rs2), _EMPTY, _EMPTY, _EMPTY, \
+            _EMPTY, _EMPTY
+    if op in BRANCH_OPS:
+        if op is Op.JAL:
+            return _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY
+        if op is Op.JALR:
+            return (instr.rs1,), _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY
+        return (instr.rs1, instr.rs2), _EMPTY, _EMPTY, _EMPTY, \
+            _EMPTY, _EMPTY
+    # vector domain
+    x_reads = (instr.rs1,) if (op in _V_READS_X or op in
+                               (Op.VLE32, Op.VSE32, Op.VSETVLI)) else _EMPTY
+    x_writes = (instr.rd,) if op in (Op.VMV_X_S, Op.VSETVLI) else _EMPTY
+    f_reads = (instr.rs1,) if op in _V_READS_F else _EMPTY
+    f_writes = (instr.rd,) if op is Op.VFMV_F_S else _EMPTY
+    v_reads = []
+    if op in _V_USES_VS1:
+        v_reads.append(instr.vs1)
+    if op in _V_USES_VS2:
+        v_reads.append(instr.vs2)
+    if op is Op.VSE32 or op in _V_READS_DEST:
+        v_reads.append(instr.vd)
+    v_writes = (instr.vd,) if op in VECTOR_DEST_OPS else _EMPTY
+    return x_reads, x_writes, f_reads, f_writes, tuple(v_reads), v_writes
+
+
+class LoopSummary:
+    """Static facts about ONE iteration of a loop body.
+
+    ``instrs`` is the exact per-iteration instruction sequence with all
+    nested loops unrolled.  The ``*_live_in`` sets hold registers read
+    before any defining write (their entry value flows into the
+    iteration); the ``*_written`` sets hold every register modified.
+    Register 0 of the integer file (hardwired zero) is excluded.  The
+    batch-replay timing backend uses these to vectorise steady-loop
+    middles; see :mod:`repro.arch.timing.batch`.
+    """
+
+    __slots__ = ("instrs", "x_live_in", "x_written", "f_live_in",
+                 "f_written", "v_live_in", "v_written", "has_vsetvli",
+                 "mem_slots")
+
+    def __init__(self, instrs, x_live_in, x_written, f_live_in, f_written,
+                 v_live_in, v_written, has_vsetvli, mem_slots):
+        self.instrs = instrs
+        self.x_live_in = x_live_in
+        self.x_written = x_written
+        self.f_live_in = f_live_in
+        self.f_written = f_written
+        self.v_live_in = v_live_in
+        self.v_written = v_written
+        self.has_vsetvli = has_vsetvli
+        self.mem_slots = mem_slots
+
+    def __repr__(self) -> str:
+        return (f"LoopSummary({len(self.instrs)} instrs/iter, "
+                f"{self.mem_slots} mem slots, "
+                f"x_live={sorted(self.x_live_in)})")
+
+
+def summarize_nodes(nodes, limit: int | None = None):
+    """Build the :class:`LoopSummary` of one iteration of ``nodes``.
+
+    Nested loops are fully unrolled into the flat sequence.  If the
+    unrolled body exceeds ``limit`` instructions, returns ``None`` (the
+    caller should analyse the nested loops individually instead).
+    """
+    instrs = []
+    for instr in _walk(nodes):
+        instrs.append(instr)
+        if limit is not None and len(instrs) > limit:
+            return None
+    x_live, x_written = set(), set()
+    f_live, f_written = set(), set()
+    v_live, v_written, v_defined = set(), set(), set()
+    has_vsetvli = False
+    mem_slots = 0
+    for instr in instrs:
+        op = instr.op
+        if op is Op.VSETVLI:
+            has_vsetvli = True
+        if instr.is_vector_mem or instr.is_scalar_mem:
+            mem_slots += 1
+        xr, xw, fr, fw, vr, vw = instruction_roles(instr)
+        for reg in xr:
+            if reg and reg not in x_written:
+                x_live.add(reg)
+        for reg in fr:
+            if reg not in f_written:
+                f_live.add(reg)
+        for reg in vr:
+            if reg not in v_defined:
+                v_live.add(reg)
+        for reg in xw:
+            if reg:
+                x_written.add(reg)
+        f_written.update(fw)
+        for reg in vw:
+            v_written.add(reg)
+            if op not in _V_PARTIAL_WRITE:
+                v_defined.add(reg)
+    return LoopSummary(tuple(instrs), frozenset(x_live),
+                       frozenset(x_written), frozenset(f_live),
+                       frozenset(f_written), frozenset(v_live),
+                       frozenset(v_written), has_vsetvli, mem_slots)
 
 
 class TraceBuilder:
