@@ -46,6 +46,12 @@ at ``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sim``) and
 (kernel, workload, config, backend) simulations are executed exactly
 once and shared across figures and invocations; see
 :mod:`repro.eval.engine` for the cache-invalidation rules.
+
+The engine's fast paths have their own knobs: ``$REPRO_POOL_IDLE``
+(idle-reap timeout of the persistent worker pool, seconds, default
+60), ``$REPRO_CACHE_INDEX`` (``0`` disables the packed cache index),
+``$REPRO_CACHE_LRU`` (in-memory result LRU entries, default 256) and
+``$REPRO_WORKER_MEMO`` (per-worker operand/trace memo entries).
 """
 
 from __future__ import annotations
@@ -508,9 +514,12 @@ def cmd_cache(args) -> int:
 
     cache = ResultCache()
     count, size = cache.usage()
+    indexed = cache.indexed_count()
     print(f"cache dir:    {cache.root}")
     print(f"cache schema: {CACHE_SCHEMA}")
     print(f"entries:      {count}")
+    print(f"indexed:      {indexed}"
+          + ("" if cache.index_enabled else " (index disabled)"))
     print(f"total size:   {size / 1024:.1f} KiB")
     for backend, entries in cache.backend_counts().items():
         print(f"  {backend + ':':20s}{entries} entries")

@@ -5,11 +5,36 @@ hashable :class:`SimJob` (kernel, workload source, sparsity pattern,
 :class:`KernelOptions`, :class:`ProcessorConfig`).  The
 :class:`ExperimentEngine` deduplicates jobs within a batch, memoises
 results in-process and in an on-disk JSON cache keyed by a content
-hash of the job, and fans cache misses out across worker processes
-with :class:`concurrent.futures.ProcessPoolExecutor` (falling back to
-in-process execution when a pool cannot be created).  Result order is
-always the submission order, so parallel and serial runs render
-bit-identical tables.
+hash of the job, and fans cache misses out across a **persistent**
+worker-process pool (falling back to in-process execution when a pool
+cannot be created).  Result order is always the submission order, so
+parallel and serial runs render bit-identical tables.
+
+Dispatch path (fast to slow)::
+
+    in-process memo -> cache LRU -> packed cache index -> per-file
+    cache entry -> simulate (persistent pool / in-process)
+
+Pool rules
+----------
+* The pool is spawned lazily on the first parallel batch and **reused
+  across** ``run()`` calls, so repeated-batch workloads (the tuner,
+  ``repro bench``, figure regeneration) pay pool spin-up and module
+  re-import exactly once.
+* ``$REPRO_POOL_IDLE`` seconds after the last batch (default 60;
+  ``<= 0`` disables reaping) an idle pool is reaped; the next batch
+  respawns it transparently.  A pool broken mid-batch (a worker died)
+  is respawned once; a second failure degrades to in-process
+  execution, as do sandboxes without fork/semaphores.
+* Workers receive **compact chunk payloads**: each chunk carries its
+  referenced jobs once (shards addressed by job index), and shards of
+  one multicore job are dealt round-robin across chunks so they are
+  never serialised onto one worker.
+* Workers memoise deterministic operand generation and compiled
+  traces by content identity (see :mod:`repro.eval.memo`), so sweeps
+  that vary only the schedule or shard fan-out of one job stop
+  redoing identical work.  Memoisation is bit-exact: the memoised
+  values are pure functions of the key.
 
 Cache rules
 -----------
@@ -17,14 +42,24 @@ Cache rules
 * Key: sha256 over the canonical JSON of the job plus
   :data:`CACHE_SCHEMA`; bump :data:`CACHE_SCHEMA` whenever a simulator
   change alters results, or delete the cache directory.
-* One JSON file per job, written atomically (temp file + rename), so
-  concurrent workers and concurrent engine processes never interleave
-  partial files.  Unreadable/corrupted entries count as misses and are
-  re-simulated and rewritten.
+* One compact JSON file per job, written atomically (temp file +
+  rename), so concurrent workers and concurrent engine processes
+  never interleave partial files.  Unreadable/corrupted entries count
+  as misses and are re-simulated and rewritten.
+* Additionally an **append-only index** (``pack/index.jsonl``: one
+  manifest line of key -> segment/offset/size/backend over packed
+  result segments) makes the warm path a seek+read instead of a
+  file-open-plus-parse, with an in-memory LRU in front of it.  The
+  per-file layout stays authoritative (fallback and migration
+  source); ``$REPRO_CACHE_INDEX=0`` disables the index,
+  ``$REPRO_CACHE_LRU`` caps the in-memory LRU (default 256 entries,
+  ``0`` disables it).
 
 Environment knobs (read when the default engine is built):
-``REPRO_JOBS`` (worker processes; ``0`` = one per CPU, default ``1``)
-and ``REPRO_NO_CACHE`` (any non-empty value disables the disk cache).
+``REPRO_JOBS`` (worker processes; ``0`` = one per CPU, default ``1``),
+``REPRO_NO_CACHE`` (any non-empty value disables the disk cache),
+``REPRO_POOL_IDLE``, ``REPRO_CACHE_INDEX``, ``REPRO_CACHE_LRU`` and
+``REPRO_WORKER_MEMO`` (see above / :mod:`repro.eval.memo`).
 ``REPRO_BACKEND`` selects the timing backend when a job is built
 without an explicit ``backend=`` (see :mod:`repro.arch.timing`).
 """
@@ -34,11 +69,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
+import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, fields, is_dataclass
-from enum import Enum
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -47,6 +85,7 @@ from repro.arch.config import ProcessorConfig
 from repro.arch.stats import ExecutionStats
 from repro.arch.timing import resolve_backend
 from repro.errors import EngineError
+from repro.eval.memo import canonical, content_key, worker_memo
 from repro.eval.runner import (
     CSR_KERNEL,
     KernelRun,
@@ -61,6 +100,10 @@ from repro.kernels.builder import KernelOptions
 from repro.kernels.compiler import Schedule
 from repro.nn.models import get_model
 from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
+
+#: Backwards-compatible alias — the canonicaliser moved to
+#: :mod:`repro.eval.memo` so the runner's memo keys can share it.
+_canonical = canonical
 
 #: Bump whenever a simulator/workload change invalidates cached results.
 #: Schema 2: timing backends — the backend is part of the job identity,
@@ -80,6 +123,8 @@ from repro.nn.workload import ScalePolicy, make_layer_workload, make_workload
 #: schema 4; analytic jobs additionally fold the active calibration
 #: table's digest into the hash, so a refit can never be answered by
 #: stale predictions.
+#: (The packed cache index and compact per-file encoding did NOT bump
+#: the schema: the JSON payload is unchanged, only its framing is new.)
 CACHE_SCHEMA = 5
 
 
@@ -89,6 +134,26 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "sim"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise EngineError(f"{name}={raw!r} is not a number") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EngineError(f"{name}={raw!r} is not an integer") from None
 
 
 # ======================================================================
@@ -200,23 +265,6 @@ class SimJob:
                    shape=(rows, k, n), seed=seed, schedule=schedule)
 
 
-def _canonical(value):
-    """Reduce a job field to a deterministic JSON-serializable value."""
-    if isinstance(value, Enum):
-        return value.name
-    if is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _canonical(getattr(value, f.name))
-                for f in fields(value)}
-    if isinstance(value, (tuple, list)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    raise EngineError(f"cannot canonicalize {type(value).__name__} "
-                      "for job hashing")
-
-
 def job_hash(job: SimJob) -> str:
     """Stable content hash of a job (identical across processes)."""
     payload = {"schema": CACHE_SCHEMA, "job": _canonical(job)}
@@ -229,8 +277,38 @@ def job_hash(job: SimJob) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def job_operands(job: SimJob):
-    """Rebuild the (A, B) operands of a job deterministically."""
+def operand_identity(job: SimJob) -> str:
+    """Content identity of a job's deterministic operand generation.
+
+    Deliberately *narrower* than :func:`job_hash`: two jobs that differ
+    only in schedule (beyond ``tile_rows``, which pads K), backend,
+    kernel or config share their (A, B) operands — the worker-side memo
+    keys on this, so tuner sweeps and shard fan-outs of one workload
+    generate the operands once per process.
+    """
+    return content_key({
+        "model": job.model, "layer": job.layer,
+        "policy": canonical(job.policy),
+        "nm": list(job.nm),
+        "shape": list(job.shape) if job.shape is not None else None,
+        "seed": job.seed,
+        "tile_rows": job.schedule.tile_rows,
+    })
+
+
+def trace_identity(job: SimJob) -> str:
+    """Content identity of a job's staged-operand layout.
+
+    Staging is deterministic (a fresh simulated memory allocates
+    sequentially), so the compiled trace is a pure function of
+    (operands, config, kernel, schedule); the runner keys its per-worker
+    trace memo on this identity plus the kernel and shard schedule.
+    """
+    return content_key({"operands": operand_identity(job),
+                        "config": canonical(job.config)})
+
+
+def _build_operands(job: SimJob):
     if job.model is not None:
         layer = next((l for l in get_model(job.model)
                       if l.name == job.layer), None)
@@ -239,11 +317,26 @@ def job_operands(job: SimJob):
                 f"model {job.model!r} has no layer {job.layer!r}")
         workload = make_layer_workload(layer, *job.nm, policy=job.policy,
                                        tile_rows=job.schedule.tile_rows)
-        return workload.a, workload.b
-    rows, k, n_cols = job.shape
-    rng = np.random.default_rng(job.seed)
-    return make_workload(rows, k, n_cols, *job.nm, rng,
-                         tile_rows=job.schedule.tile_rows)
+        a, b = workload.a, workload.b
+    else:
+        rows, k, n_cols = job.shape
+        rng = np.random.default_rng(job.seed)
+        a, b = make_workload(rows, k, n_cols, *job.nm, rng,
+                             tile_rows=job.schedule.tile_rows)
+    # memoised operands are shared across runs: freeze the dense side so
+    # an accidental in-place mutation fails loudly instead of silently
+    # corrupting every later run of the same workload
+    b.setflags(write=False)
+    return a, b
+
+
+def job_operands(job: SimJob):
+    """Rebuild the (A, B) operands of a job deterministically.
+
+    Memoised per process by :func:`operand_identity` — callers must
+    treat the returned arrays as read-only."""
+    return worker_memo("operands", 8).get(
+        operand_identity(job), lambda: _build_operands(job))
 
 
 def execute_job(job: SimJob) -> KernelRun:
@@ -255,22 +348,26 @@ def execute_job(job: SimJob) -> KernelRun:
     bit-identical results.
     """
     a, b = job_operands(job)
+    memo_key = trace_identity(job)
     if job.kernel == CSR_KERNEL:
         return run_csr(a, b, config=job.config, verify=job.verify,
-                       backend=job.backend, schedule=job.schedule)
+                       backend=job.backend, schedule=job.schedule,
+                       memo_key=memo_key)
     return run_spmm(a, b, job.kernel, schedule=job.schedule,
                     config=job.config, verify=job.verify,
-                    backend=job.backend)
+                    backend=job.backend, memo_key=memo_key)
 
 
 def execute_shard_job(job: SimJob, shard: int) -> ShardRun:
     """Run one core's shard of a multicore job (worker entry point)."""
     a, b = job_operands(job)
+    memo_key = trace_identity(job)
     if job.kernel == CSR_KERNEL:
         return run_csr_shard(a, b, job.schedule, shard, config=job.config,
-                             backend=job.backend)
+                             backend=job.backend, memo_key=memo_key)
     return run_spmm_shard(a, b, job.kernel, job.schedule, shard,
-                          config=job.config, backend=job.backend)
+                          config=job.config, backend=job.backend,
+                          memo_key=memo_key)
 
 
 def finish_multicore_job(job: SimJob, shards) -> KernelRun:
@@ -284,12 +381,64 @@ def finish_multicore_job(job: SimJob, shards) -> KernelRun:
 
 
 def _execute_task(task) -> "KernelRun | ShardRun":
-    """Pool entry point: a task is (job, shard) with shard=None meaning
-    the whole job."""
+    """In-process entry point: a task is (job, shard) with shard=None
+    meaning the whole job."""
     job, shard = task
     if shard is None:
         return execute_job(job)
     return execute_shard_job(job, shard)
+
+
+def _execute_chunk(jobs, tasks):
+    """Pool entry point: run one chunk of (job-index, shard) tasks
+    against the chunk's deduplicated job table.
+
+    The payload is compact by construction — each referenced job is
+    pickled once per chunk however many of its shards the chunk holds —
+    and the reply leads with the worker's pid so the engine can record
+    where each shard actually ran (``ExperimentEngine.last_dispatch``).
+    """
+    return os.getpid(), [_execute_task((jobs[index], shard))
+                         for index, shard in tasks]
+
+
+def _worker_ping(linger: float) -> int:
+    """Pool warm-up probe: hold the worker briefly so concurrent pings
+    fan out across distinct processes, then report the pid."""
+    time.sleep(linger)
+    return os.getpid()
+
+
+def _chunk_tasks(jobs, tasks, n_chunks):
+    """Deal ``tasks`` (``(job_index, shard)`` pairs) round-robin into at
+    most ``n_chunks`` compact chunk payloads.
+
+    Shards of one multicore job occupy consecutive task slots, so the
+    round-robin deal puts them in distinct chunks whenever ``n_chunks``
+    is at least the job's core count — the pool then simulates them on
+    distinct workers instead of serialising them through one.  Each
+    payload is ``(chunk_jobs, chunk_tasks, originals)``: the jobs the
+    chunk references (each exactly once), the tasks re-indexed against
+    that local table, and the original tasks for reassembly.
+    """
+    dealt = [[] for _ in range(max(1, n_chunks))]
+    for position, task in enumerate(tasks):
+        dealt[position % len(dealt)].append(task)
+    payloads = []
+    for chunk in dealt:
+        if not chunk:
+            continue
+        local_index: dict[int, int] = {}
+        chunk_jobs = []
+        chunk_tasks = []
+        for job_index, shard in chunk:
+            if job_index not in local_index:
+                local_index[job_index] = len(chunk_jobs)
+                chunk_jobs.append(jobs[job_index])
+            chunk_tasks.append((local_index[job_index], shard))
+        payloads.append((tuple(chunk_jobs), tuple(chunk_tasks),
+                         tuple(chunk)))
+    return payloads
 
 
 # ======================================================================
@@ -312,29 +461,135 @@ def atomic_write_text(path: Path, text: str) -> None:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`KernelRun` results."""
+    """Content-addressed store of :class:`KernelRun` results.
+
+    Three layers, fastest first:
+
+    * an in-memory LRU of decoded runs (``$REPRO_CACHE_LRU`` entries,
+      default 256) — repeat hits cost a dict lookup;
+    * an append-only **packed index**: per-process segment files under
+      ``pack/`` holding concatenated compact-JSON payloads, plus one
+      shared ``pack/index.jsonl`` manifest of
+      key -> segment/offset/size/backend, appended a line at a time —
+      a warm hit is one seek+read, and :meth:`load_many` batches a
+      whole key set per segment;
+    * the original one-file-per-key layout — still written on every
+      :meth:`store` (atomically, so it stays safe under concurrent
+      engines), still readable on its own (``$REPRO_CACHE_INDEX=0``),
+      and the migration source: a per-file hit is appended to the
+      index so the next load is indexed.
+    """
 
     def __init__(self, root: Path | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.index_enabled = os.environ.get("REPRO_CACHE_INDEX", "1") != "0"
+        self._lru_capacity = max(0, _env_int("REPRO_CACHE_LRU", 256))
+        self._lru: OrderedDict[str, KernelRun] = OrderedDict()
+        self._index: dict[str, tuple[str, int, int, str]] | None = None
+        self._segment: str | None = None  #: this process's pack segment
 
+    # -- paths ---------------------------------------------------------
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> KernelRun | None:
-        """The cached run for ``key``, or None on a miss.
+    @property
+    def pack_dir(self) -> Path:
+        return self.root / "pack"
 
-        A corrupted/unreadable entry is deleted and reported as a miss
-        so the job is simply re-simulated.
+    @property
+    def manifest_path(self) -> Path:
+        return self.pack_dir / "index.jsonl"
+
+    # -- the packed index ----------------------------------------------
+    def _load_index(self) -> dict[str, tuple[str, int, int, str]]:
+        """The manifest, parsed once per cache instance (later stores
+        through this instance keep it current; other processes' appends
+        are picked up by the per-file fallback)."""
+        if self._index is None:
+            index: dict[str, tuple[str, int, int, str]] = {}
+            if self.index_enabled:
+                try:
+                    lines = self.manifest_path.read_bytes().splitlines()
+                except OSError:
+                    lines = []
+                for line in lines:
+                    try:
+                        rec = json.loads(line)
+                        index[rec["k"]] = (rec["s"], int(rec["o"]),
+                                           int(rec["n"]), rec["b"])
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn/corrupt line: skip, don't fail
+            self._index = index
+        return self._index
+
+    def _append_index(self, key: str, blob: bytes, backend: str) -> None:
+        """Append one result to this process's segment + the manifest.
+
+        Segments are per-process (pid + random suffix), so offsets are
+        race-free; the manifest append is a single small O_APPEND write.
+        Failures are swallowed — the index is an accelerator, the
+        per-file layout stays authoritative.
         """
+        if not self.index_enabled:
+            return
+        try:
+            self.pack_dir.mkdir(parents=True, exist_ok=True)
+            if self._segment is None:
+                self._segment = (f"{os.getpid():x}-"
+                                 f"{os.urandom(4).hex()}.seg")
+            segment_path = self.pack_dir / self._segment
+            with open(segment_path, "ab") as handle:
+                offset = handle.tell()
+                handle.write(blob)
+            record = {"k": key, "s": self._segment, "o": offset,
+                      "n": len(blob), "b": backend}
+            line = json.dumps(record, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+            with open(self.manifest_path, "ab") as handle:
+                handle.write(line.encode())
+            self._load_index()[key] = (self._segment, offset,
+                                       len(blob), backend)
+        except OSError:
+            pass
+
+    def _decode(self, payload) -> KernelRun:
+        if payload["schema"] != CACHE_SCHEMA:
+            raise ValueError("stale cache schema")
+        stats = ExecutionStats(**payload["stats"])
+        return KernelRun(kernel=payload["kernel"], stats=stats,
+                         verified=payload["verified"],
+                         backend=payload["backend"])
+
+    def _lru_put(self, key: str, run: KernelRun) -> None:
+        if self._lru_capacity <= 0:
+            return
+        self._lru[key] = run
+        self._lru.move_to_end(key)
+        while len(self._lru) > self._lru_capacity:
+            self._lru.popitem(last=False)
+
+    def _load_indexed(self, key: str) -> KernelRun | None:
+        entry = self._load_index().get(key)
+        if entry is None:
+            return None
+        segment, offset, size, _ = entry
+        try:
+            with open(self.pack_dir / segment, "rb") as handle:
+                handle.seek(offset)
+                blob = handle.read(size)
+            return self._decode(json.loads(blob))
+        except (OSError, ValueError, TypeError, KeyError):
+            # truncated segment / stale manifest: fall back to per-file
+            self._load_index().pop(key, None)
+            return None
+
+    def _load_file(self, key: str) -> KernelRun | None:
+        """The per-file fallback (and migration source): a hit is
+        re-appended to the index so the next load is one seek+read."""
         path = self.path(key)
         try:
             payload = json.loads(path.read_text())
-            if payload["schema"] != CACHE_SCHEMA:
-                raise ValueError("stale cache schema")
-            stats = ExecutionStats(**payload["stats"])
-            return KernelRun(kernel=payload["kernel"], stats=stats,
-                             verified=payload["verified"],
-                             backend=payload["backend"])
+            run = self._decode(payload)
         except FileNotFoundError:
             return None
         except (OSError, ValueError, TypeError, KeyError):
@@ -343,15 +598,88 @@ class ResultCache:
             except OSError:
                 pass
             return None
+        if self.index_enabled and key not in self._load_index():
+            blob = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
+            self._append_index(key, blob, run.backend)
+        return run
+
+    # -- public API ----------------------------------------------------
+    def load(self, key: str) -> KernelRun | None:
+        """The cached run for ``key``, or None on a miss.
+
+        A corrupted/unreadable entry falls through the layers (LRU ->
+        index -> per-file); only when every layer misses is the job
+        re-simulated and rewritten.
+        """
+        run = self._lru.get(key)
+        if run is not None:
+            self._lru.move_to_end(key)
+            return run
+        run = self._load_indexed(key)
+        if run is None:
+            run = self._load_file(key)
+        if run is not None:
+            self._lru_put(key, run)
+        return run
+
+    def load_many(self, keys) -> dict[str, KernelRun]:
+        """Batched :meth:`load`: every hit among ``keys``.
+
+        Indexed entries are grouped per segment so each segment is
+        opened once and read in offset order; the remainder falls back
+        to per-file loads.  Misses are simply absent from the result.
+        """
+        found: dict[str, KernelRun] = {}
+        misses: list[str] = []
+        for key in dict.fromkeys(keys):
+            run = self._lru.get(key)
+            if run is not None:
+                self._lru.move_to_end(key)
+                found[key] = run
+            else:
+                misses.append(key)
+        index = self._load_index()
+        by_segment: dict[str, list[tuple[int, int, str]]] = {}
+        rest: list[str] = []
+        for key in misses:
+            entry = index.get(key)
+            if entry is None:
+                rest.append(key)
+            else:
+                segment, offset, size, _ = entry
+                by_segment.setdefault(segment, []).append(
+                    (offset, size, key))
+        for segment, wanted in by_segment.items():
+            try:
+                with open(self.pack_dir / segment, "rb") as handle:
+                    for offset, size, key in sorted(wanted):
+                        handle.seek(offset)
+                        blob = handle.read(size)
+                        run = self._decode(json.loads(blob))
+                        found[key] = run
+                        self._lru_put(key, run)
+            except (OSError, ValueError, TypeError, KeyError):
+                # drop this segment's survivors to the per-file path
+                rest.extend(key for _, _, key in wanted
+                            if key not in found)
+        for key in rest:
+            run = self._load_file(key)
+            if run is not None:
+                found[key] = run
+                self._lru_put(key, run)
+        return found
 
     def entries(self) -> list[Path]:
-        """Every cache entry file currently on disk (sorted)."""
+        """Every per-file cache entry currently on disk (sorted)."""
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        return sorted(p for p in self.root.glob("*/*.json")
+                      if p.parent.name != "pack")
 
     def usage(self) -> tuple[int, int]:
-        """(entry count, total bytes) of the on-disk cache."""
+        """(entry count, total bytes) of the on-disk cache (per-file
+        layout — every stored result has a per-file entry)."""
         count = size = 0
         for path in self.entries():
             try:
@@ -361,31 +689,47 @@ class ResultCache:
             count += 1
         return count, size
 
+    def indexed_count(self) -> int:
+        """Entries reachable through the packed index."""
+        return len(self._load_index())
+
     def backend_counts(self) -> dict[str, int]:
         """Entry count per timing backend (for ``repro cache``).
 
-        Unreadable entries are tallied under ``"?"`` rather than
-        deleted — :meth:`load` handles eviction on actual use.
+        Served from the index manifest (the backend rides in every
+        manifest line); only entries the index has never seen need
+        their JSON opened.  Unreadable entries are tallied under
+        ``"?"`` rather than deleted — :meth:`load` handles eviction on
+        actual use.
         """
         counts: dict[str, int] = {}
+        index = self._load_index()
+        indexed = {key: entry[3] for key, entry in index.items()}
         for path in self.entries():
-            try:
-                backend = json.loads(path.read_text())["backend"]
-            except (OSError, ValueError, KeyError):
-                backend = "?"
+            backend = indexed.get(path.stem)
+            if backend is None:
+                try:
+                    backend = json.loads(path.read_text())["backend"]
+                except (OSError, ValueError, KeyError):
+                    backend = "?"
             counts[backend] = counts.get(backend, 0) + 1
         return dict(sorted(counts.items()))
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
-        removed = 0
+        """Delete every cache entry (per-file layout, packed segments
+        and manifest); returns how many entries were removed."""
+        keys = {path.stem for path in self.entries()}
+        keys |= set(self._load_index())
         for path in self.entries():
             try:
                 path.unlink()
             except OSError:
-                continue
-            removed += 1
-        return removed
+                keys.discard(path.stem)
+        shutil.rmtree(self.pack_dir, ignore_errors=True)
+        self._index = {} if self._index is not None else None
+        self._segment = None
+        self._lru.clear()
+        return len(keys)
 
     def store(self, key: str, job: SimJob, run: KernelRun) -> None:
         payload = {
@@ -396,8 +740,10 @@ class ResultCache:
             "backend": run.backend,
             "stats": _canonical(run.stats),
         }
-        atomic_write_text(self.path(key),
-                          json.dumps(payload, sort_keys=True, indent=1))
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        atomic_write_text(self.path(key), blob)
+        self._append_index(key, blob.encode(), run.backend)
+        self._lru_put(key, run)
 
 
 # ======================================================================
@@ -415,6 +761,13 @@ class EngineCounters:
     #: nothing) — the ``repro bench`` throughput column.
     sim_instructions: int = 0
     sim_seconds: float = 0.0
+    #: persistent-pool lifecycle: fresh spawns, respawns after a broken
+    #: pool, and batches dispatched through the pool.  A repeated-batch
+    #: workload that reuses the pool shows ``pool_spawns == 1`` with
+    #: ``pool_batches`` counting every parallel batch.
+    pool_spawns: int = 0
+    pool_respawns: int = 0
+    pool_batches: int = 0
 
     @property
     def total(self) -> int:
@@ -422,7 +775,12 @@ class EngineCounters:
 
     @property
     def throughput(self) -> float:
-        """Simulated instructions per second of backend wall-clock."""
+        """Simulated instructions per second of backend wall-clock.
+
+        Guarded against zero/absent ``sim_seconds`` — a cold engine or
+        an all-hits (simulation-free) run reports 0.0 rather than
+        dividing by zero.
+        """
         if self.sim_seconds <= 0.0:
             return 0.0
         return self.sim_instructions / self.sim_seconds
@@ -430,11 +788,15 @@ class EngineCounters:
     def snapshot(self) -> "EngineCounters":
         """A frozen copy of the current counts (for phase accounting,
         e.g. the per-layer tuner's sweep-vs-finalist split)."""
-        return EngineCounters(simulated=self.simulated,
-                              disk_hits=self.disk_hits,
-                              memo_hits=self.memo_hits,
-                              sim_instructions=self.sim_instructions,
-                              sim_seconds=self.sim_seconds)
+        return EngineCounters(
+            simulated=self.simulated,
+            disk_hits=self.disk_hits,
+            memo_hits=self.memo_hits,
+            sim_instructions=self.sim_instructions,
+            sim_seconds=self.sim_seconds,
+            pool_spawns=self.pool_spawns,
+            pool_respawns=self.pool_respawns,
+            pool_batches=self.pool_batches)
 
     def since(self, start: "EngineCounters") -> "EngineCounters":
         """The counts accumulated after ``start`` was snapshotted."""
@@ -443,7 +805,10 @@ class EngineCounters:
             disk_hits=self.disk_hits - start.disk_hits,
             memo_hits=self.memo_hits - start.memo_hits,
             sim_instructions=self.sim_instructions - start.sim_instructions,
-            sim_seconds=self.sim_seconds - start.sim_seconds)
+            sim_seconds=self.sim_seconds - start.sim_seconds,
+            pool_spawns=self.pool_spawns - start.pool_spawns,
+            pool_respawns=self.pool_respawns - start.pool_respawns,
+            pool_batches=self.pool_batches - start.pool_batches)
 
 
 class ExperimentEngine:
@@ -451,15 +816,29 @@ class ExperimentEngine:
 
     ``jobs`` is the worker-process count: ``1`` (default) runs
     in-process, ``0``/``None`` means one worker per CPU.  ``cache``
-    toggles the on-disk result cache at ``cache_dir``.
+    toggles the on-disk result cache at ``cache_dir``.  ``pool_idle``
+    is the idle-reap timeout of the persistent worker pool in seconds
+    (``None`` reads ``$REPRO_POOL_IDLE``, default 60; ``<= 0`` keeps
+    the pool alive until :meth:`shutdown`).
     """
 
     def __init__(self, jobs: int | None = 1, cache: bool = True,
-                 cache_dir: Path | None = None):
+                 cache_dir: Path | None = None,
+                 pool_idle: float | None = None):
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         self.cache = ResultCache(cache_dir) if cache else None
         self.counters = EngineCounters()
+        self.pool_idle = (pool_idle if pool_idle is not None
+                          else _env_float("REPRO_POOL_IDLE", 60.0))
+        #: ``(job_index, shard, worker_pid)`` of every task the last
+        #: pool batch dispatched (observability: tests assert shards of
+        #: one multicore job landed on distinct workers).
+        self.last_dispatch: list[tuple[int, int | None, int]] = []
         self._memo: dict[str, KernelRun] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._idle_timer: threading.Timer | None = None
+        self._pool_unavailable = False
 
     @classmethod
     def from_env(cls, jobs: int | None = None,
@@ -477,16 +856,108 @@ class ExperimentEngine:
             cache = not os.environ.get("REPRO_NO_CACHE")
         return cls(jobs=jobs, cache=cache)
 
+    # -- persistent pool lifecycle -------------------------------------
+    def _acquire_pool(self) -> ProcessPoolExecutor | None:
+        """The persistent pool, spawning it lazily; None when worker
+        processes cannot be created in this environment."""
+        with self._pool_lock:
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
+            if self._pool is None:
+                if self._pool_unavailable:
+                    return None
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                except (OSError, ImportError):
+                    # sandboxes without fork/semaphores: remember, so
+                    # later batches skip straight to in-process
+                    self._pool_unavailable = True
+                    return None
+                self.counters.pool_spawns += 1
+            return self._pool
+
+    def _release_pool(self) -> None:
+        """Arm the idle-reap timer after a batch (the next batch
+        disarms it; firing reaps the pool until it is needed again)."""
+        with self._pool_lock:
+            if self._pool is None or self.pool_idle <= 0:
+                return
+            timer = threading.Timer(
+                self.pool_idle, lambda: self._reap_idle(timer))
+            timer.daemon = True
+            self._idle_timer = timer
+            timer.start()
+
+    def _reap_idle(self, timer: threading.Timer) -> None:
+        with self._pool_lock:
+            if self._idle_timer is not timer:
+                return  # superseded by a newer batch — not idle
+            self._idle_timer = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next acquisition respawns."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the persistent pool down (idempotent; the next parallel
+        batch would lazily respawn it)."""
+        with self._pool_lock:
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def warm_pool(self, linger: float = 0.05) -> list[int]:
+        """Eagerly spawn the pool and fan one ping per worker; returns
+        the worker pids (empty when the pool is unavailable).  Useful
+        before latency-sensitive batches and in dispatch tests."""
+        if self.jobs <= 1:
+            return []
+        pool = self._acquire_pool()
+        if pool is None:
+            return []
+        try:
+            futures = [pool.submit(_worker_ping, linger)
+                       for _ in range(self.jobs)]
+            return [future.result() for future in futures]
+        except (BrokenProcessPool, OSError):
+            self._discard_pool()
+            return []
+        finally:
+            self._release_pool()
+
+    def __del__(self):  # best-effort: tests build many engines
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
+
     # -- execution -----------------------------------------------------
     def run(self, jobs) -> list[KernelRun]:
         """Run a batch of jobs; results arrive in submission order.
 
         Identical jobs (same content hash) within the batch are
-        simulated once.  Disk-cache hits are promoted into the
-        in-process memo.
+        simulated once.  Disk-cache lookups for the whole batch are
+        batched through :meth:`ResultCache.load_many`; hits are
+        promoted into the in-process memo.
         """
         jobs = list(jobs)
         keys = [job_hash(job) for job in jobs]
+        fetched: dict[str, KernelRun] = {}
+        if self.cache is not None:
+            unknown = [key for key in dict.fromkeys(keys)
+                       if key not in self._memo]
+            if unknown:
+                fetched = self.cache.load_many(unknown)
         pending: dict[str, SimJob] = {}
         for job, key in zip(jobs, keys):
             if key in self._memo:
@@ -497,7 +968,7 @@ class ExperimentEngine:
                 # job's single simulation, via the memo, at no cost
                 self.counters.memo_hits += 1
                 continue
-            cached = self.cache.load(key) if self.cache else None
+            cached = fetched.get(key)
             if cached is not None:
                 self.counters.disk_hits += 1
                 self._memo[key] = cached
@@ -530,20 +1001,13 @@ class ExperimentEngine:
                 tasks.extend((index, shard) for shard in range(cores))
             else:
                 tasks.append((index, None))
-        payloads = [(jobs[index], shard) for index, shard in tasks]
+        self.last_dispatch = []
         outputs = None
-        if self.jobs > 1 and len(payloads) > 1:
-            try:
-                workers = min(self.jobs, len(payloads))
-                chunk = max(1, len(payloads) // (workers * 4))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outputs = list(pool.map(_execute_task, payloads,
-                                            chunksize=chunk))
-            except (OSError, BrokenProcessPool, ImportError):
-                # sandboxes without fork/semaphores: degrade gracefully
-                outputs = None
+        if self.jobs > 1 and len(tasks) > 1:
+            outputs = self._dispatch(jobs, tasks)
         if outputs is None:
-            outputs = [_execute_task(payload) for payload in payloads]
+            outputs = [_execute_task((jobs[index], shard))
+                       for index, shard in tasks]
         results: list[KernelRun | None] = [None] * len(jobs)
         shards: dict[int, list[ShardRun]] = {}
         for (index, shard), output in zip(tasks, outputs):
@@ -555,6 +1019,51 @@ class ExperimentEngine:
             results[index] = finish_multicore_job(jobs[index], shard_runs)
         return results
 
+    def _dispatch(self, jobs, tasks):
+        """Fan one batch of tasks across the persistent pool; None
+        means "run in-process" (no pool, or it broke twice in a row).
+
+        Chunks are dealt so shards of one multicore job never share a
+        chunk (see :func:`_chunk_tasks`); a pool broken mid-batch is
+        respawned once and the batch retried (execution is
+        deterministic and results are stored only after the whole
+        batch, so the retry is idempotent).
+        """
+        workers = min(self.jobs, len(tasks))
+        fanout = max(job.schedule.cores for job in jobs)
+        n_chunks = min(len(tasks), max(workers * 4, fanout))
+        payloads = _chunk_tasks(jobs, tasks, n_chunks)
+        for retry in (False, True):
+            pool = self._acquire_pool()
+            if pool is None:
+                return None
+            try:
+                futures = [pool.submit(_execute_chunk, chunk_jobs,
+                                       chunk_tasks)
+                           for chunk_jobs, chunk_tasks, _ in payloads]
+                replies = [future.result() for future in futures]
+            except BrokenProcessPool:
+                self._discard_pool()
+                if retry:
+                    return None
+                self.counters.pool_respawns += 1
+                continue
+            except (OSError, ImportError):
+                self._discard_pool()
+                return None
+            finally:
+                self._release_pool()
+            position = {task: i for i, task in enumerate(tasks)}
+            outputs: list = [None] * len(tasks)
+            for (_, _, originals), (pid, chunk_outputs) in zip(payloads,
+                                                               replies):
+                for original, output in zip(originals, chunk_outputs):
+                    outputs[position[original]] = output
+                    self.last_dispatch.append((*original, pid))
+            self.counters.pool_batches += 1
+            return outputs
+        return None
+
     # -- reporting -----------------------------------------------------
     def summary(self) -> str:
         """One-line accounting, e.g. for the ``repro bench`` report."""
@@ -565,10 +1074,14 @@ class ExperimentEngine:
             speed = (f", {c.sim_instructions:,} instrs in "
                      f"{c.sim_seconds:.1f}s "
                      f"({c.throughput / 1e3:,.0f}k instr/s)")
+        pool = ""
+        if c.pool_spawns:
+            pool = (f", pool {c.pool_spawns} spawn(s)/"
+                    f"{c.pool_batches} batch(es)")
         return (f"engine: {c.simulated} simulations, "
                 f"{c.disk_hits} disk-cache hits, "
                 f"{c.memo_hits} memo hits{speed} "
-                f"(workers {self.jobs}, cache {where})")
+                f"(workers {self.jobs}{pool}, cache {where})")
 
 
 # ======================================================================
@@ -586,8 +1099,14 @@ def get_engine() -> ExperimentEngine:
 
 
 def set_engine(engine: ExperimentEngine | None) -> ExperimentEngine | None:
-    """Install (or, with None, reset) the default engine."""
+    """Install (or, with None, reset) the default engine.
+
+    The outgoing engine's persistent pool is shut down — reconfiguring
+    must never leak worker processes.
+    """
     global _default_engine
+    if _default_engine is not None and _default_engine is not engine:
+        _default_engine.shutdown(wait=False)
     _default_engine = engine
     return engine
 

@@ -1,0 +1,127 @@
+"""Process-local memoisation primitives for the experiment engine.
+
+Worker processes (and the in-process fallback path) redo a lot of
+deterministic work between simulations: regenerating a job's operand
+matrices, re-encoding CSR baselines, recompiling spec -> trace.  All of
+it is a pure function of *content identity* — canonical JSON of the
+fields that determine the output — so it can be memoised per process
+with bit-exact results.  This module holds the shared pieces:
+
+* :func:`canonical` — reduce dataclasses/enums/tuples to a
+  deterministic JSON-serialisable value (also the basis of the disk
+  cache's job hash in :mod:`repro.eval.engine`);
+* :func:`content_key` — sha256 of a canonical payload, stable across
+  processes (``PYTHONHASHSEED``-independent), so memo keys derived in
+  the parent and in pool workers always agree;
+* :class:`LRUMemo` + :func:`worker_memo` — small bounded caches,
+  one named instance per kind of work (``"operands"``, ``"traces"``),
+  living in module globals so every entry point of a worker process
+  shares them.
+
+``REPRO_WORKER_MEMO`` caps the entry count of every named memo
+(``0`` disables memoisation entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
+from enum import Enum
+
+from repro.errors import EngineError
+
+
+def canonical(value):
+    """Reduce a value to a deterministic JSON-serialisable form."""
+    if isinstance(value, Enum):
+        return value.name
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, (tuple, list)):
+        return [canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise EngineError(f"cannot canonicalize {type(value).__name__} "
+                      "for content hashing")
+
+
+def content_key(payload) -> str:
+    """Process-stable sha256 over the canonical JSON of ``payload``."""
+    blob = json.dumps(canonical(payload), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class LRUMemo:
+    """A bounded build-on-miss cache with hit/miss accounting."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key, build):
+        """The memoised value for ``key``, building (and retaining) it
+        on a miss.  A ``capacity`` of 0 disables retention entirely."""
+        if self.capacity <= 0:
+            self.misses += 1
+            return build()
+        try:
+            value = self._data[key]
+        except KeyError:
+            pass
+        else:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = build()
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = 0
+
+
+#: The per-process named memo registry (each pool worker has its own).
+_MEMOS: dict[str, LRUMemo] = {}
+
+
+def _memo_capacity(default: int) -> int:
+    raw = os.environ.get("REPRO_WORKER_MEMO")
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EngineError(
+            f"REPRO_WORKER_MEMO={raw!r} is not an integer") from None
+
+
+def worker_memo(name: str, default_capacity: int = 32) -> LRUMemo:
+    """The process-wide memo named ``name`` (created on first use;
+    capacity from ``$REPRO_WORKER_MEMO``, else ``default_capacity``)."""
+    memo = _MEMOS.get(name)
+    if memo is None:
+        memo = _MEMOS[name] = LRUMemo(_memo_capacity(default_capacity))
+    return memo
+
+
+def clear_worker_memos() -> None:
+    """Drop every named memo (tests; also re-reads the capacity env)."""
+    for memo in _MEMOS.values():
+        memo.clear()
+    _MEMOS.clear()

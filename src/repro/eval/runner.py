@@ -32,6 +32,7 @@ from repro.arch.timing import (
     resolve_backend,
 )
 from repro.errors import KernelError, SimulationError
+from repro.eval.memo import worker_memo
 from repro.kernels.builder import KernelOptions
 from repro.kernels.compiler import Schedule
 from repro.kernels.layout import read_result, stage_spmm
@@ -124,13 +125,42 @@ def _resolve_schedule(options, schedule) -> Schedule:
             else Schedule.from_options(options))
 
 
+def _trace_for(kernel: str, schedule: Schedule, memo_key, build):
+    """Compile (or recall) the trace for one (kernel, schedule) pair.
+
+    ``memo_key`` is the engine's :func:`~repro.eval.engine.
+    trace_identity` — a content hash of (operands, config).  Staging is
+    deterministic (a fresh simulated memory allocates sequentially), so
+    for a given memo_key the staged addresses are identical run to run
+    and the compiled trace can be reused verbatim; traces are immutable
+    during execution, so reuse is bit-exact.  ``None`` (direct runner
+    callers that bypass the engine) always compiles fresh.
+    """
+    if memo_key is None:
+        return build()
+    return worker_memo("traces", 32).get(
+        (kernel, memo_key, schedule.cache_key()), build)
+
+
+def _csr_for(a: NMSparseMatrix, memo_key):
+    """Re-encode A as CSR, memoised per process by content identity
+    (the conversion is a pure densify + re-compress of A)."""
+    from repro.sparse.csr import CSRMatrix
+
+    if memo_key is None:
+        return CSRMatrix.from_dense(a.to_dense())
+    return worker_memo("operands", 8).get(
+        ("csr", memo_key), lambda: CSRMatrix.from_dense(a.to_dense()))
+
+
 # ======================================================================
 # N:M structured-sparse kernels (Algorithms 2 and 3)
 # ======================================================================
 def run_spmm_shard(a: NMSparseMatrix, b: np.ndarray, kernel: str,
                    schedule: Schedule, shard: int,
                    config: ProcessorConfig | None = None,
-                   backend: str | None = None) -> ShardRun:
+                   backend: str | None = None,
+                   memo_key: str | None = None) -> ShardRun:
     """Execute one core's shard of ``C = A x B`` on a private processor.
 
     The core stages the full operands (its own memory image), but the
@@ -144,7 +174,10 @@ def run_spmm_shard(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     _check_vlmax(kernel, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
-    trace = get_trace_kernel(kernel)(staged, schedule.for_shard(shard))
+    shard_schedule = schedule.for_shard(shard)
+    trace = _trace_for(kernel, shard_schedule, memo_key,
+                       lambda: get_trace_kernel(kernel)(staged,
+                                                        shard_schedule))
     t0 = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
     result.stats.extra["wall_seconds"] = time.perf_counter() - t0
@@ -191,7 +224,8 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
              config: ProcessorConfig | None = None,
              verify: bool = True,
              backend: str | None = None,
-             schedule: Schedule | None = None) -> KernelRun:
+             schedule: Schedule | None = None,
+             memo_key: str | None = None) -> KernelRun:
     """Stage ``C = A x B``, run ``kernel``, and optionally verify C.
 
     The kernel layout comes from ``schedule`` (a full compiler
@@ -212,13 +246,14 @@ def run_spmm(a: NMSparseMatrix, b: np.ndarray, kernel: str,
     config = config or ProcessorConfig.scaled_default()
     if schedule.cores > 1:
         shards = [run_spmm_shard(a, b, kernel, schedule, i, config=config,
-                                 backend=backend)
+                                 backend=backend, memo_key=memo_key)
                   for i in range(schedule.cores)]
         return merge_shard_runs(kernel, shards, backend, a, b, verify)
     _check_vlmax(kernel, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
     staged = stage_spmm(proc.mem, a, b)
-    trace = get_trace_kernel(kernel)(staged, schedule)
+    trace = _trace_for(kernel, schedule, memo_key,
+                       lambda: get_trace_kernel(kernel)(staged, schedule))
     start = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
     result.stats.extra["wall_seconds"] = time.perf_counter() - start
@@ -252,7 +287,8 @@ def _csr_schedule(schedule: Schedule | None, vlmax: int = 16) -> Schedule:
 
 def run_csr_shard(a: NMSparseMatrix, b: np.ndarray, schedule: Schedule,
                   shard: int, config: ProcessorConfig | None = None,
-                  backend: str | None = None) -> ShardRun:
+                  backend: str | None = None,
+                  memo_key: str | None = None) -> ShardRun:
     """One core's shard of the unstructured-CSR baseline."""
     from repro.kernels.compiler.tiling import shard_rows
     from repro.kernels.spmm_csr import (
@@ -260,16 +296,18 @@ def run_csr_shard(a: NMSparseMatrix, b: np.ndarray, schedule: Schedule,
         stage_csr,
         trace_csr_spmm,
     )
-    from repro.sparse.csr import CSRMatrix
 
     backend = resolve_backend(backend)
     config = config or ProcessorConfig.scaled_default()
     schedule = _csr_schedule(schedule)
     _check_vlmax(CSR_KERNEL, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
-    csr = CSRMatrix.from_dense(a.to_dense())
+    csr = _csr_for(a, memo_key)
     staged = stage_csr(proc.mem, csr, b)
-    trace = trace_csr_spmm(staged, schedule=schedule.for_shard(shard))
+    shard_schedule = schedule.for_shard(shard)
+    trace = _trace_for(CSR_KERNEL, shard_schedule, memo_key,
+                       lambda: trace_csr_spmm(staged,
+                                              schedule=shard_schedule))
     t0 = time.perf_counter()
     result = get_backend(backend).run(proc, trace)
     result.stats.extra["wall_seconds"] = time.perf_counter() - t0
@@ -284,7 +322,8 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
             verify: bool = True,
             backend: str | None = None,
             vlmax: int = 16,
-            schedule: Schedule | None = None) -> KernelRun:
+            schedule: Schedule | None = None,
+            memo_key: str | None = None) -> KernelRun:
     """Run the unstructured-CSR kernel on the same operands.
 
     The N:M matrix is re-encoded as plain CSR (identical values and
@@ -299,7 +338,6 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
         stage_csr,
         trace_csr_spmm,
     )
-    from repro.sparse.csr import CSRMatrix
 
     schedule = _csr_schedule(schedule, vlmax)
     if schedule.shard is not None:
@@ -310,16 +348,17 @@ def run_csr(a: NMSparseMatrix, b: np.ndarray,
     config = config or ProcessorConfig.scaled_default()
     if schedule.cores > 1:
         shards = [run_csr_shard(a, b, schedule, i, config=config,
-                                backend=backend)
+                                backend=backend, memo_key=memo_key)
                   for i in range(schedule.cores)]
         return merge_shard_runs(CSR_KERNEL, shards, backend, a, b, verify)
     _check_vlmax(CSR_KERNEL, schedule.vlmax, config)
     proc = DecoupledProcessor(config)
-    csr = CSRMatrix.from_dense(a.to_dense())
+    csr = _csr_for(a, memo_key)
     staged = stage_csr(proc.mem, csr, b)
+    trace = _trace_for(CSR_KERNEL, schedule, memo_key,
+                       lambda: trace_csr_spmm(staged, schedule=schedule))
     t0 = time.perf_counter()
-    result = get_backend(backend).run(
-        proc, trace_csr_spmm(staged, schedule=schedule))
+    result = get_backend(backend).run(proc, trace)
     result.stats.extra["wall_seconds"] = time.perf_counter() - t0
     verified = False
     if verify and get_backend_class(backend).functional:

@@ -125,7 +125,11 @@ def test_cache_disabled_always_simulates(tmp_path):
     assert list(tmp_path.iterdir()) == []  # nothing written
 
 
-def test_corrupted_cache_file_recovers(tmp_path):
+def test_corrupted_cache_file_recovers(tmp_path, monkeypatch):
+    # pin the legacy per-file-only path: with the packed index enabled
+    # the corrupted entry would be served from its packed copy instead
+    # of triggering a re-simulation (covered separately below)
+    monkeypatch.setenv("REPRO_CACHE_INDEX", "0")
     job = tiny_job()
     first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
     reference = first.run([job])[0]
@@ -139,6 +143,103 @@ def test_corrupted_cache_file_recovers(tmp_path):
     warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
     warm.run([job])
     assert warm.counters.disk_hits == 1
+
+
+def test_index_serves_past_corrupted_per_file_entry(tmp_path):
+    """With the packed index on, a trashed per-file entry is served
+    from the index (a disk hit) instead of re-simulated."""
+    job = tiny_job()
+    first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    reference = first.run([job])[0]
+    ResultCache(tmp_path).path(job_hash(job)).write_text("{ not json !!!")
+    healed = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    rerun = healed.run([job])[0]
+    assert healed.counters.simulated == 0
+    assert healed.counters.disk_hits == 1
+    assert runs_equal(rerun, reference)
+
+
+def test_store_writes_compact_json(tmp_path):
+    job = tiny_job()
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    engine.run([job])
+    text = ResultCache(tmp_path).path(job_hash(job)).read_text()
+    assert "\n" not in text and ": " not in text  # no indent, no spaces
+    payload = json.loads(text)  # still valid JSON with the same fields
+    assert payload["kernel"] == PROPOSED
+
+
+def test_load_many_matches_load(tmp_path):
+    jobs = [tiny_job(seed=s) for s in range(4)]
+    keys = [job_hash(j) for j in jobs]
+    ExperimentEngine(jobs=1, cache_dir=tmp_path).run(jobs)
+    cache = ResultCache(tmp_path)
+    batched = cache.load_many(keys + [64 * "0"])  # one guaranteed miss
+    assert set(batched) == set(keys)
+    fresh = ResultCache(tmp_path)
+    for key in keys:
+        assert runs_equal(batched[key], fresh.load(key))
+
+
+def test_index_serves_after_per_file_delete(tmp_path):
+    """The packed index is a complete replica: per-file entries can
+    disappear and warm loads still succeed."""
+    job = tiny_job()
+    ExperimentEngine(jobs=1, cache_dir=tmp_path).run([job])
+    key = job_hash(job)
+    cache = ResultCache(tmp_path)
+    reference = cache.load(key)
+    cache.path(key).unlink()
+    served = ResultCache(tmp_path).load(key)
+    assert served is not None and runs_equal(served, reference)
+
+
+def test_index_disabled_is_pure_per_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_INDEX", "0")
+    job = tiny_job()
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    reference = engine.run([job])[0]
+    assert not (tmp_path / "pack").exists()  # nothing packed
+    warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    assert runs_equal(warm.run([job])[0], reference)
+    assert warm.counters.disk_hits == 1
+
+
+def test_per_file_entries_migrate_into_index(tmp_path, monkeypatch):
+    """A cache written before the index existed (or with it disabled)
+    is adopted: the first per-file hit is appended to the index, after
+    which the per-file copy is no longer needed."""
+    monkeypatch.setenv("REPRO_CACHE_INDEX", "0")
+    job = tiny_job()
+    ExperimentEngine(jobs=1, cache_dir=tmp_path).run([job])
+    monkeypatch.delenv("REPRO_CACHE_INDEX")
+    key = job_hash(job)
+    cache = ResultCache(tmp_path)
+    assert cache.indexed_count() == 0
+    reference = cache.load(key)  # per-file hit -> migrated
+    assert cache.indexed_count() == 1
+    cache.path(key).unlink()
+    served = ResultCache(tmp_path).load(key)
+    assert served is not None and runs_equal(served, reference)
+
+
+def test_clear_removes_pack_and_entries(tmp_path):
+    jobs = [tiny_job(seed=s) for s in range(3)]
+    ExperimentEngine(jobs=1, cache_dir=tmp_path).run(jobs)
+    cache = ResultCache(tmp_path)
+    assert cache.clear() == 3
+    assert cache.entries() == []
+    assert not cache.pack_dir.exists()
+    assert cache.indexed_count() == 0
+    assert cache.usage() == (0, 0)
+
+
+def test_backend_counts_served_from_index(tmp_path):
+    jobs = [tiny_job(seed=s) for s in range(3)]
+    ExperimentEngine(jobs=1, cache_dir=tmp_path).run(jobs)
+    cache = ResultCache(tmp_path)
+    assert cache.backend_counts() == {"detailed": 3}
+    assert cache.indexed_count() == 3
 
 
 # ----------------------------------------------------------------------
