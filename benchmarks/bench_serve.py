@@ -1,0 +1,329 @@
+"""Load test of the shared-cache experiment server (repro.serve).
+
+Drives an embedded :class:`ServerThread` with thousands of synthetic
+blocking clients over real HTTP and measures/asserts the serving
+guarantees:
+
+* **mixed load** — ``CLIENTS`` client sessions on a 90/10 hot/cold
+  mix (hot = a job already in the shared cache, cold = a never-seen
+  job) with **zero failed requests**;
+* **warm-hit latency** — end-to-end p50 of an all-warm request
+  (fresh connection, measured without competing client threads — the
+  mixed-load percentiles include the harness's own client-side GIL
+  queueing and are reported but not gated) must stay under
+  ``WARM_P50_MS_GATE`` milliseconds;
+* **single-flight** — concurrent identical cold submissions simulate
+  exactly once (asserted against the engine's ``simulated`` counter);
+* **overload** — flooding the bulk lane of a deliberately tiny-queue
+  server sheds with 429s while the interactive lane's p99 stays
+  bounded.
+
+The measured numbers are archived as ``serve_latency.json`` (uploaded
+by the CI ``serve-smoke`` job) alongside the rendered table.
+``REPRO_BENCH_POLICY`` is accepted for symmetry with the other
+benches but the job mix is synthetic-GEMM based, so runtime barely
+depends on it.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import RESULTS_DIR, publish  # noqa: E402
+
+from repro.errors import ServeOverloadedError
+from repro.eval.engine import SimJob, atomic_write_text
+from repro.eval.report import format_table
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.serve.stats import LatencyStats
+
+BASELINE, PROPOSED = "rowwise-spmm", "indexmac-spmm"
+
+#: Synthetic client sessions in the mixed-load phase (the acceptance
+#: floor is 1000; every session is a fresh connection + one request).
+CLIENTS = 1000
+#: Concurrent client threads.  Low enough that warm-path latency
+#: measures the server, not queueing delay behind our own flood.
+THREADS = 8
+#: One session in ten submits a never-seen job (90/10 hot/cold).
+COLD_EVERY = 10
+#: End-to-end warm-hit p50 gate, milliseconds.
+WARM_P50_MS_GATE = 5.0
+#: Interactive-lane p99 bound while the bulk lane is being shed,
+#: milliseconds (generous: CI boxes are noisy; locally this is ~2ms).
+OVERLOAD_P99_MS_BOUND = 250.0
+#: Concurrent identical submissions in the single-flight phase.
+DUPLICATES = 24
+
+
+def _hot_pool(n=16):
+    return [SimJob.for_shape(8, 32, 16, (1, 4), PROPOSED, seed=s)
+            for s in range(n)]
+
+
+def _cold_job(i):
+    kernel = PROPOSED if i % 2 else BASELINE
+    return SimJob.for_shape(8, 32, 16, (2, 4), kernel, seed=10_000 + i)
+
+
+def _session(url, job, lane="interactive"):
+    """One synthetic client: fresh connection, one submit, teardown.
+    Returns (elapsed_seconds, counts, error_or_None)."""
+    t0 = time.perf_counter()
+    try:
+        with ServeClient(url, timeout=120.0) as client:
+            response = client.submit([job], lane=lane)
+        elapsed = time.perf_counter() - t0
+        errors = [r for r in response["results"] if "error" in r]
+        if errors:
+            return elapsed, response["counts"], errors[0]["error"]
+        return elapsed, response["counts"], None
+    except Exception as exc:
+        return time.perf_counter() - t0, None, exc
+
+
+def _run_warm_latency(url, sessions=200):
+    """Sequential warm-hit sessions: the gated end-to-end latency.
+
+    One client thread so the measurement sees the server's warm path
+    plus a real HTTP round trip, not queueing behind the harness's
+    own flood of client threads."""
+    hot = _hot_pool()
+    stats = LatencyStats(capacity=sessions)
+    for i in range(sessions):
+        elapsed, counts, error = _session(url, hot[i % len(hot)])
+        assert error is None, f"warm session failed: {error}"
+        assert counts["warm"] == 1, counts
+        stats.record(elapsed)
+    return stats
+
+
+def _run_mixed_load(url):
+    hot = _hot_pool()
+    latencies = {"hot": LatencyStats(capacity=CLIENTS),
+                 "cold": LatencyStats(capacity=CLIENTS)}
+    failures = []
+    not_warm = []
+
+    def one(i):
+        cold = i % COLD_EVERY == 0
+        job = _cold_job(i) if cold else hot[i % len(hot)]
+        elapsed, counts, error = _session(url, job)
+        kind = "cold" if cold else "hot"
+        latencies[kind].record(elapsed)
+        if error is not None:
+            failures.append((i, error))
+        elif not cold and counts["warm"] != 1:
+            # a hot job answered off the warm path (e.g. joined a
+            # flight) is fine for the client but excluded from the
+            # warm-latency gate accounting below
+            not_warm.append(i)
+        return elapsed
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        list(pool.map(one, range(CLIENTS)))
+    return latencies, failures, not_warm
+
+
+def _run_single_flight(url):
+    """DUPLICATES concurrent clients submit one identical cold job."""
+    job = SimJob.for_shape(16, 32, 16, (1, 4), PROPOSED, seed=99_999)
+    before = ServeClient(url).stats()["engine"]["simulated"]
+    barrier = threading.Barrier(DUPLICATES)
+    outcomes = []
+
+    def one(_i):
+        barrier.wait()
+        outcomes.append(_session(url, job))
+
+    threads = [threading.Thread(target=one, args=(i,))
+               for i in range(DUPLICATES)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    after = ServeClient(url).stats()["engine"]["simulated"]
+    errors = [e for _, _, e in outcomes if e is not None]
+    totals = {c["warm"] + c["joined"] + c["queued"]
+              for _, c, e in outcomes if e is None}
+    assert not errors, f"single-flight phase failed: {errors[:3]}"
+    assert totals == {1}  # every duplicate got exactly its one answer
+    return after - before, len(outcomes)
+
+
+def _run_overload():
+    """Tiny bulk queue + slow dispatch window: the flood must shed
+    with 429s while interactive warm requests stay fast."""
+    config = ServeConfig(batch_window=0.05, max_batch=4, bulk_depth=8,
+                         interactive_depth=256, retry_after=0.25)
+    with ServerThread(config) as server:
+        client = ServeClient(server.url)
+        client.wait_until_ready(30)
+        hot = _hot_pool(4)
+        client.submit(hot)  # warm the interactive probes
+
+        shed = []
+        admitted = []
+        interactive = LatencyStats(capacity=1024)
+        interactive_failures = []
+        stop = threading.Event()
+
+        def flood(worker):
+            i = 0
+            while not stop.is_set():
+                jobs = [_cold_job(50_000 + worker * 10_000 + i + j)
+                        for j in range(4)]
+                i += 4
+                try:
+                    with ServeClient(server.url, timeout=60) as c:
+                        c.submit(jobs, lane="bulk", wait=False)
+                    admitted.append(i)
+                except ServeOverloadedError as exc:
+                    assert exc.retry_after > 0
+                    shed.append(i)
+
+        def probe():
+            for i in range(200):
+                elapsed, counts, error = _session(
+                    server.url, hot[i % len(hot)])
+                interactive.record(elapsed)
+                if error is not None or counts["warm"] != 1:
+                    interactive_failures.append((i, error, counts))
+
+        flooders = [threading.Thread(target=flood, args=(w,))
+                    for w in range(6)]
+        for t in flooders:
+            t.start()
+        try:
+            probe()
+        finally:
+            stop.set()
+            for t in flooders:
+                t.join()
+        final = client.stats()
+    return {
+        "shed": len(shed),
+        "admitted": len(admitted),
+        "server_shed_counter": final["shed"],
+        "interactive_p99_ms": round(interactive.percentile(99) * 1e3,
+                                    3),
+        "interactive_failures": len(interactive_failures),
+        "interactive": interactive.summary(),
+    }
+
+
+def bench_serve_load(benchmark, capsys):
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmp = tempfile.TemporaryDirectory(prefix="bench-serve-")
+    os.environ["REPRO_CACHE_DIR"] = tmp.name
+    os.environ.setdefault("REPRO_JOBS", "4")
+    try:
+        config = ServeConfig(batch_window=0.002)
+        with ServerThread(config) as server:
+            warmer = ServeClient(server.url)
+            warmer.wait_until_ready(30)
+            t0 = time.perf_counter()
+            warmed = warmer.submit(_hot_pool())
+            prewarm_s = time.perf_counter() - t0
+            assert all("error" not in r for r in warmed["results"])
+
+            warm = _run_warm_latency(server.url)
+
+            t0 = time.perf_counter()
+            latencies, failures, not_warm = _run_mixed_load(server.url)
+            load_s = time.perf_counter() - t0
+            flights, dup_clients = _run_single_flight(server.url)
+
+            # the benchmark fixture times one representative warm
+            # session over a fresh connection
+            hot = _hot_pool()[0]
+            benchmark.pedantic(
+                lambda: _session(server.url, hot),
+                rounds=30, iterations=1)
+            stats = warmer.stats()
+        overload = _run_overload()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        tmp.cleanup()
+
+    warm_p50_ms = warm.percentile(50) * 1e3
+    report = {
+        "clients": CLIENTS,
+        "threads": THREADS,
+        "hot_cold_mix": f"{100 - 100 // COLD_EVERY}/"
+                        f"{100 // COLD_EVERY}",
+        "duration_s": round(load_s, 3),
+        "requests_per_s": round(CLIENTS / load_s, 1),
+        "failed_requests": len(failures),
+        "prewarm_s": round(prewarm_s, 3),
+        "warm_latency_ms": warm.summary(),
+        "hot_latency_ms": latencies["hot"].summary(),
+        "cold_latency_ms": latencies["cold"].summary(),
+        "hot_sessions_not_warm": len(not_warm),
+        "warm_p50_ms": round(warm_p50_ms, 3),
+        "warm_p50_ms_gate": WARM_P50_MS_GATE,
+        "single_flight": {"duplicate_clients": dup_clients,
+                          "simulations": flights},
+        "server": {
+            "hit_rate": stats["hit_rate"],
+            "warm_hits": stats["warm_hits"],
+            "single_flight_joins": stats["single_flight_joins"],
+            "engine_batches": stats["engine_batches"],
+            "engine_simulated": stats["engine"]["simulated"],
+            "latency_ms": stats["latency_ms"],
+        },
+        "overload": overload,
+        "overload_p99_ms_bound": OVERLOAD_P99_MS_BOUND,
+    }
+    atomic_write_text(RESULTS_DIR / "serve_latency.json",
+                      json.dumps(report, indent=2) + "\n")
+
+    rows = [
+        ["mixed load", f"{CLIENTS} clients in {load_s:.2f}s",
+         f"{CLIENTS / load_s:,.0f} req/s, {len(failures)} failed"],
+        ["warm hit (sequential)",
+         f"{report['warm_latency_ms']['p50']:.2f} / "
+         f"{report['warm_latency_ms']['p99']:.2f} ms p50/p99",
+         f"(gate: p50 < {WARM_P50_MS_GATE:g} ms)"],
+        ["hot p50 / p99 under load",
+         f"{report['hot_latency_ms']['p50']:.2f} / "
+         f"{report['hot_latency_ms']['p99']:.2f} ms",
+         f"{THREADS} client threads"],
+        ["cold p50 / p99",
+         f"{report['cold_latency_ms']['p50']:.2f} / "
+         f"{report['cold_latency_ms']['p99']:.2f} ms", ""],
+        ["single-flight", f"{dup_clients} duplicate clients",
+         f"{flights} simulation(s)"],
+        ["overload shed", f"{overload['shed']} x 429",
+         f"{overload['admitted']} admitted"],
+        ["interactive p99 under flood",
+         f"{overload['interactive_p99_ms']:.2f} ms",
+         f"(bound < {OVERLOAD_P99_MS_BOUND:g} ms)"],
+    ]
+    publish("serve_latency",
+            format_table(["phase", "measured", "notes"], rows,
+                         title=f"experiment server under load "
+                               f"({CLIENTS} clients, "
+                               f"{THREADS} threads)"),
+            capsys)
+
+    # -- acceptance gates ---------------------------------------------
+    assert not failures, f"failed requests: {failures[:3]}"
+    assert warm_p50_ms < WARM_P50_MS_GATE, (
+        f"warm p50 {warm_p50_ms:.2f}ms over the "
+        f"{WARM_P50_MS_GATE}ms gate")
+    assert flights == 1, (
+        f"{dup_clients} identical submissions ran "
+        f"{flights} simulations (single-flight broken)")
+    assert overload["shed"] > 0, "overload phase never shed a 429"
+    assert overload["interactive_failures"] == 0
+    assert overload["interactive_p99_ms"] < OVERLOAD_P99_MS_BOUND

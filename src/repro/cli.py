@@ -14,7 +14,9 @@ Commands
                 experiment engine, with a progress/summary report
 ``scaling``     multi-core sharding study (1/2/4/8-core speedup and
                 efficiency per model and N:M pattern)
-``cache``       inspect or clear the on-disk simulation result cache
+``cache``       inspect, vacuum, or clear the on-disk result cache
+``serve``       run the shared-cache experiment server (HTTP)
+``submit``      submit a job batch to a running experiment server
 ``layers``      list a model's convolutions and GEMM shapes
 ``encode``      assemble one instruction and show its encoding
 ``quickcheck``  30-second end-to-end sanity run (tiny scale)
@@ -366,8 +368,14 @@ def cmd_bench(args) -> int:
         text = result.render()
         elapsed = time.perf_counter() - start
         delta = engine.counters.since(before)
-        speed = (f" ({delta.throughput / 1e3:,.0f}k instr/s simulated)"
-                 if delta.sim_seconds > 0 else "")
+        if delta.sim_seconds > 0:
+            speed = f" ({delta.throughput / 1e3:,.0f}k instr/s simulated)"
+        elif delta.simulated == 0 and delta.total:
+            # fully-warm artifact: instr/s is meaningless, report the
+            # cache instead
+            speed = f" ({delta.hit_rate:.0%} cache hits, 0 simulations)"
+        else:
+            speed = ""
         path = out_dir / f"{stem}.txt"
         atomic_write_text(path, text + "\n")
         print(f"[{i}/{len(names)}] {title} regenerated in "
@@ -523,10 +531,85 @@ def cmd_cache(args) -> int:
     print(f"total size:   {size / 1024:.1f} KiB")
     for backend, entries in cache.backend_counts().items():
         print(f"  {backend + ':':20s}{entries} entries")
+    if args.vacuum:
+        files_removed, reclaimed = cache.vacuum()
+        _, size_after = cache.usage()
+        print(f"vacuumed:     {files_removed} file(s) removed "
+              f"(adopted per-file entries + old segments), "
+              f"{reclaimed / 1024:.1f} KiB reclaimed "
+              f"(now {size_after / 1024:.1f} KiB)")
     if args.clear:
         removed = cache.clear()
         print(f"cleared:      {removed} entries")
     return 0
+
+
+# ======================================================================
+# serve / submit — the shared-cache experiment server
+# ======================================================================
+def cmd_serve(args) -> int:
+    from repro.serve.http import serve_forever
+    from repro.serve.service import ExperimentService, ServeConfig
+
+    engine = ExperimentEngine.from_env(
+        jobs=getattr(args, "jobs", None),
+        cache=False if getattr(args, "no_cache", False) else None)
+    config = ServeConfig.from_env(
+        batch_window=args.window, max_batch=args.batch,
+        interactive_depth=args.depth, bulk_depth=args.bulk_depth,
+        retry_after=args.retry_after)
+    service = ExperimentService(engine=engine, config=config)
+
+    def announce(server):
+        print(f"serving on {server.url}  "
+              f"(window {config.batch_window * 1e3:g}ms, batch "
+              f"{config.max_batch}, depth {config.interactive_depth}"
+              f"/{config.bulk_depth}, workers {engine.jobs}, cache "
+              f"{engine.cache.root if engine.cache else 'off'})",
+              flush=True)
+
+    try:
+        serve_forever(service, host=args.host, port=args.port,
+                      announce=announce)
+    except KeyboardInterrupt:
+        pass
+    print("server stopped")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, fig4_jobs
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    if args.wait_ready:
+        client.wait_until_ready(args.wait_ready)
+    if args.shutdown:
+        client.shutdown()
+        print("server shutdown requested")
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    jobs = fig4_jobs(args.model, scale=args.scale,
+                     sparsities=[_parse_nm(t) for t in args.nm],
+                     backend=args.backend)
+    start = time.perf_counter()
+    response = client.submit(jobs, lane=args.lane)
+    elapsed_ms = 1e3 * (time.perf_counter() - start)
+    counts = response["counts"]
+    errors = [r for r in response["results"] if "error" in r]
+    print(f"batch {response['batch']} ({args.lane}): "
+          f"{len(jobs)} job(s) in {elapsed_ms:,.1f}ms -- "
+          f"{counts['warm']} warm, {counts['joined']} joined, "
+          f"{counts['queued']} queued, {len(errors)} error(s)")
+    for result in errors:
+        print(f"  job {result['index']}: {result['error']}")
+    if args.expect_warm and (errors or counts["warm"] != len(jobs)):
+        print(f"FAIL: expected an all-warm batch, got {counts}")
+        return 1
+    return 1 if errors else 0
 
 
 def cmd_layers(args) -> int:
@@ -779,11 +862,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "cache",
-        help="inspect (or clear) the on-disk simulation result cache")
+        help="inspect (or vacuum/clear) the on-disk result cache")
     p.add_argument("--clear", action="store_true",
                    help="delete every cache entry after printing the "
                         "summary")
+    p.add_argument("--vacuum", action="store_true",
+                   help="compact the pack segments into one and drop "
+                        "per-file entries already adopted into the "
+                        "index (reports bytes reclaimed)")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the shared-cache experiment server (HTTP)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 = ephemeral; default: 8642)")
+    p.add_argument("--window", type=float, default=None, metavar="SEC",
+                   help="batch coalescing window in seconds "
+                        "(default: $REPRO_SERVE_WINDOW or 0.005)")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="max jobs per engine batch (default: "
+                        "$REPRO_SERVE_BATCH or 128)")
+    p.add_argument("--depth", type=int, default=None, metavar="N",
+                   help="interactive-lane queue depth before shedding "
+                        "(default: $REPRO_SERVE_DEPTH or 256)")
+    p.add_argument("--bulk-depth", type=int, default=None, metavar="N",
+                   help="bulk-lane queue depth before shedding "
+                        "(default: $REPRO_SERVE_BULK_DEPTH or 2048)")
+    p.add_argument("--retry-after", type=float, default=None,
+                   metavar="SEC",
+                   help="Retry-After advertised on a 429 (default: "
+                        "$REPRO_SERVE_RETRY_AFTER or 1)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="engine worker processes (0 = one per CPU)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the on-disk result cache")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job batch to a running experiment server")
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="server URL (default: http://127.0.0.1:8642)")
+    p.add_argument("--lane", default="interactive",
+                   choices=["interactive", "bulk"],
+                   help="priority lane (default: interactive)")
+    p.add_argument("--model", default="resnet50", choices=list_models(),
+                   help="model whose unique GEMM layers to submit")
+    p.add_argument("--scale", default="tiny", choices=_SCALE_CHOICES,
+                   help="workload scale policy (default: tiny)")
+    p.add_argument("--nm", nargs="+", default=["1:4", "2:4"],
+                   metavar="N:M",
+                   help="sparsity patterns (default: 1:4 2:4)")
+    _add_backend_arg(p)
+    p.add_argument("--timeout", type=float, default=600.0,
+                   metavar="SEC",
+                   help="client socket timeout (default: 600)")
+    p.add_argument("--wait-ready", type=float, default=0.0,
+                   metavar="SEC",
+                   help="poll the health endpoint up to SEC seconds "
+                        "before submitting (CI startup races)")
+    p.add_argument("--expect-warm", action="store_true",
+                   help="exit non-zero unless every job was answered "
+                        "from the warm cache (0 simulations)")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's /v1/stats JSON and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the server to stop and exit")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("layers", help="list a model's conv layers")
     p.add_argument("model", choices=list_models())

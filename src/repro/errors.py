@@ -42,6 +42,25 @@ class TuningError(EngineError):
     unreadable, or structurally invalid."""
 
 
+class ServeError(ReproError):
+    """A simulation-service request is malformed, or the server/client
+    hit a protocol-level failure."""
+
+
+class ServeOverloadedError(ServeError):
+    """The server shed this request (admission control): the target
+    lane's queue is full.  ``retry_after`` is the server's suggested
+    back-off in seconds (the HTTP 429 ``Retry-After`` header)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ServeUnavailableError(ServeError):
+    """No server is reachable at the target address."""
+
+
 class BackendError(ReproError):
     """A timing backend is unknown or misconfigured."""
 

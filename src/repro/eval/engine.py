@@ -485,6 +485,10 @@ class ResultCache:
         self.index_enabled = os.environ.get("REPRO_CACHE_INDEX", "1") != "0"
         self._lru_capacity = max(0, _env_int("REPRO_CACHE_LRU", 256))
         self._lru: OrderedDict[str, KernelRun] = OrderedDict()
+        #: guards the LRU's compound update sequences — the serve layer
+        #: probes the cache from the event-loop thread while the
+        #: dispatcher thread stores results into the same instance
+        self._lru_lock = threading.Lock()
         self._index: dict[str, tuple[str, int, int, str]] | None = None
         self._segment: str | None = None  #: this process's pack segment
 
@@ -563,10 +567,18 @@ class ResultCache:
     def _lru_put(self, key: str, run: KernelRun) -> None:
         if self._lru_capacity <= 0:
             return
-        self._lru[key] = run
-        self._lru.move_to_end(key)
-        while len(self._lru) > self._lru_capacity:
-            self._lru.popitem(last=False)
+        with self._lru_lock:
+            self._lru[key] = run
+            self._lru.move_to_end(key)
+            while len(self._lru) > self._lru_capacity:
+                self._lru.popitem(last=False)
+
+    def _lru_get(self, key: str) -> KernelRun | None:
+        with self._lru_lock:
+            run = self._lru.get(key)
+            if run is not None:
+                self._lru.move_to_end(key)
+            return run
 
     def _load_indexed(self, key: str) -> KernelRun | None:
         entry = self._load_index().get(key)
@@ -612,9 +624,8 @@ class ResultCache:
         index -> per-file); only when every layer misses is the job
         re-simulated and rewritten.
         """
-        run = self._lru.get(key)
+        run = self._lru_get(key)
         if run is not None:
-            self._lru.move_to_end(key)
             return run
         run = self._load_indexed(key)
         if run is None:
@@ -633,9 +644,8 @@ class ResultCache:
         found: dict[str, KernelRun] = {}
         misses: list[str] = []
         for key in dict.fromkeys(keys):
-            run = self._lru.get(key)
+            run = self._lru_get(key)
             if run is not None:
-                self._lru.move_to_end(key)
                 found[key] = run
             else:
                 misses.append(key)
@@ -678,16 +688,26 @@ class ResultCache:
                       if p.parent.name != "pack")
 
     def usage(self) -> tuple[int, int]:
-        """(entry count, total bytes) of the on-disk cache (per-file
-        layout — every stored result has a per-file entry)."""
-        count = size = 0
-        for path in self.entries():
+        """(distinct entry count, total bytes) of the on-disk cache.
+
+        Counts keys reachable through either layout (after a
+        :meth:`vacuum` an entry may live only in the packed index) and
+        sums the bytes of both: per-file entries plus pack segments
+        and manifest.
+        """
+        keys = {path.stem for path in self.entries()}
+        keys |= set(self._load_index())
+        size = 0
+        paths = list(self.entries())
+        if self.pack_dir.is_dir():
+            paths.extend(p for p in self.pack_dir.iterdir()
+                         if p.is_file())
+        for path in paths:
             try:
                 size += path.stat().st_size
             except OSError:
                 continue
-            count += 1
-        return count, size
+        return len(keys), size
 
     def indexed_count(self) -> int:
         """Entries reachable through the packed index."""
@@ -705,13 +725,15 @@ class ResultCache:
         counts: dict[str, int] = {}
         index = self._load_index()
         indexed = {key: entry[3] for key, entry in index.items()}
+        for backend in indexed.values():
+            counts[backend] = counts.get(backend, 0) + 1
         for path in self.entries():
-            backend = indexed.get(path.stem)
-            if backend is None:
-                try:
-                    backend = json.loads(path.read_text())["backend"]
-                except (OSError, ValueError, KeyError):
-                    backend = "?"
+            if path.stem in indexed:
+                continue  # already tallied through the manifest
+            try:
+                backend = json.loads(path.read_text())["backend"]
+            except (OSError, ValueError, KeyError):
+                backend = "?"
             counts[backend] = counts.get(backend, 0) + 1
         return dict(sorted(counts.items()))
 
@@ -730,6 +752,81 @@ class ResultCache:
         self._segment = None
         self._lru.clear()
         return len(keys)
+
+    def vacuum(self) -> tuple[int, int]:
+        """Compact the cache: one fresh pack segment, no redundancy.
+
+        Rewrites every index-reachable result into a single new
+        segment with a fresh manifest (dropping superseded manifest
+        lines and dead bytes in abandoned segments), deletes the old
+        segments, and unlinks per-file entries already adopted into
+        the index — the index alone serves them afterwards (per-file
+        entries the index has never seen are kept untouched).  This is
+        an offline maintenance operation: run it while no other engine
+        process is storing into the same cache directory, or their
+        concurrent manifest appends may be lost.
+
+        Returns ``(files_removed, bytes_reclaimed)``.
+        """
+        if not self.index_enabled:
+            return 0, 0
+        self._index = None  # re-read the manifest, including appends
+        index = dict(self._load_index())
+        _, bytes_before = self.usage()
+        old_segments = set()
+        if self.pack_dir.is_dir():
+            old_segments = {p.name for p in self.pack_dir.iterdir()
+                            if p.name != self.manifest_path.name}
+        # 1. copy every live blob into one fresh segment
+        compacted: dict[str, tuple[str, int, int, str]] = {}
+        new_segment = f"compact-{os.getpid():x}-{os.urandom(4).hex()}.seg"
+        lines: list[str] = []
+        offset = 0
+        blobs: list[bytes] = []
+        for key, (segment, start, size, backend) in index.items():
+            try:
+                with open(self.pack_dir / segment, "rb") as handle:
+                    handle.seek(start)
+                    blob = handle.read(size)
+                self._decode(json.loads(blob))
+            except (OSError, ValueError, TypeError, KeyError):
+                continue  # unreadable: drop from the compacted index
+            blobs.append(blob)
+            compacted[key] = (new_segment, offset, len(blob), backend)
+            lines.append(json.dumps(
+                {"k": key, "s": new_segment, "o": offset,
+                 "n": len(blob), "b": backend},
+                sort_keys=True, separators=(",", ":")))
+            offset += len(blob)
+        removed = 0
+        if compacted:
+            self.pack_dir.mkdir(parents=True, exist_ok=True)
+            with open(self.pack_dir / new_segment, "wb") as handle:
+                handle.write(b"".join(blobs))
+            atomic_write_text(self.manifest_path,
+                              "\n".join(lines) + "\n")
+        elif self.manifest_path.exists():
+            atomic_write_text(self.manifest_path, "")
+        # 2. drop the superseded segments
+        for name in old_segments:
+            try:
+                (self.pack_dir / name).unlink()
+                removed += 1
+            except OSError:
+                pass
+        # 3. drop per-file entries the index now serves
+        for path in self.entries():
+            if path.stem not in compacted:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._index = compacted
+        self._segment = None  # future stores open a fresh segment
+        _, bytes_after = self.usage()
+        return removed, max(0, bytes_before - bytes_after)
 
     def store(self, key: str, job: SimJob, run: KernelRun) -> None:
         payload = {
@@ -761,6 +858,9 @@ class EngineCounters:
     #: nothing) — the ``repro bench`` throughput column.
     sim_instructions: int = 0
     sim_seconds: float = 0.0
+    #: wall-clock spent serving batches that simulated *nothing*
+    #: (memo/disk hits only) — the warm jobs/s denominator.
+    warm_seconds: float = 0.0
     #: persistent-pool lifecycle: fresh spawns, respawns after a broken
     #: pool, and batches dispatched through the pool.  A repeated-batch
     #: workload that reuses the pool shows ``pool_spawns == 1`` with
@@ -785,6 +885,21 @@ class EngineCounters:
             return 0.0
         return self.sim_instructions / self.sim_seconds
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested jobs served without simulating."""
+        if self.total == 0:
+            return 0.0
+        return (self.disk_hits + self.memo_hits) / self.total
+
+    @property
+    def warm_rate(self) -> float:
+        """Cache/memo hits served per second of warm batch time (0.0
+        when no simulation-free batch has been timed yet)."""
+        if self.warm_seconds <= 0.0:
+            return 0.0
+        return (self.disk_hits + self.memo_hits) / self.warm_seconds
+
     def snapshot(self) -> "EngineCounters":
         """A frozen copy of the current counts (for phase accounting,
         e.g. the per-layer tuner's sweep-vs-finalist split)."""
@@ -794,6 +909,7 @@ class EngineCounters:
             memo_hits=self.memo_hits,
             sim_instructions=self.sim_instructions,
             sim_seconds=self.sim_seconds,
+            warm_seconds=self.warm_seconds,
             pool_spawns=self.pool_spawns,
             pool_respawns=self.pool_respawns,
             pool_batches=self.pool_batches)
@@ -806,6 +922,7 @@ class EngineCounters:
             memo_hits=self.memo_hits - start.memo_hits,
             sim_instructions=self.sim_instructions - start.sim_instructions,
             sim_seconds=self.sim_seconds - start.sim_seconds,
+            warm_seconds=self.warm_seconds - start.warm_seconds,
             pool_spawns=self.pool_spawns - start.pool_spawns,
             pool_respawns=self.pool_respawns - start.pool_respawns,
             pool_batches=self.pool_batches - start.pool_batches)
@@ -839,6 +956,13 @@ class ExperimentEngine:
         self._pool_lock = threading.Lock()
         self._idle_timer: threading.Timer | None = None
         self._pool_unavailable = False
+        #: serialises :meth:`run` so concurrent submitters (the serve
+        #: layer's dispatcher thread plus direct callers) never
+        #: interleave a batch's execute/store sequence
+        self._run_lock = threading.RLock()
+        #: guards counter updates — :meth:`probe` runs on the event
+        #: loop thread while :meth:`run` executes in a worker thread
+        self._counters_lock = threading.Lock()
 
     @classmethod
     def from_env(cls, jobs: int | None = None,
@@ -942,14 +1066,19 @@ class ExperimentEngine:
             pass
 
     # -- execution -----------------------------------------------------
-    def run(self, jobs) -> list[KernelRun]:
-        """Run a batch of jobs; results arrive in submission order.
+    def probe(self, jobs) -> "list[KernelRun | None]":
+        """Cache-only lookup: the warm layers of the dispatch path
+        (in-process memo -> cache LRU -> packed index -> per-file),
+        never simulating.  Misses come back as ``None``.
 
-        Identical jobs (same content hash) within the batch are
-        simulated once.  Disk-cache lookups for the whole batch are
-        batched through :meth:`ResultCache.load_many`; hits are
-        promoted into the in-process memo.
+        Hits are promoted into the in-process memo and counted exactly
+        as :meth:`run` would count them, so a service that answers
+        warm requests straight off :meth:`probe` (the serve layer's
+        microsecond path) keeps the engine's accounting coherent.
+        Safe to call concurrently with :meth:`run` from another
+        thread.
         """
+        start = time.perf_counter()
         jobs = list(jobs)
         keys = [job_hash(job) for job in jobs]
         fetched: dict[str, KernelRun] = {}
@@ -958,32 +1087,101 @@ class ExperimentEngine:
                        if key not in self._memo]
             if unknown:
                 fetched = self.cache.load_many(unknown)
+        results: list[KernelRun | None] = []
+        memo_hits = disk_hits = 0
+        for key in keys:
+            run = self._memo.get(key)
+            if run is not None:
+                memo_hits += 1
+            else:
+                run = fetched.get(key)
+                if run is not None:
+                    disk_hits += 1
+                    self._memo[key] = run
+            results.append(run)
+        with self._counters_lock:
+            self.counters.memo_hits += memo_hits
+            self.counters.disk_hits += disk_hits
+            if memo_hits or disk_hits:
+                self.counters.warm_seconds += time.perf_counter() - start
+        return results
+
+    def run(self, jobs) -> list[KernelRun]:
+        """Run a batch of jobs; results arrive in submission order.
+
+        Identical jobs (same content hash) within the batch are
+        simulated once.  Disk-cache lookups for the whole batch are
+        batched through :meth:`ResultCache.load_many`; hits are
+        promoted into the in-process memo.  Reentrant: concurrent
+        callers are serialised on an internal lock and counters are
+        updated atomically.
+        """
+        with self._run_lock:
+            return self._run_locked(list(jobs))
+
+    def _run_locked(self, jobs: list[SimJob]) -> list[KernelRun]:
+        start = time.perf_counter()
+        keys = [job_hash(job) for job in jobs]
+        fetched: dict[str, KernelRun] = {}
+        if self.cache is not None:
+            unknown = [key for key in dict.fromkeys(keys)
+                       if key not in self._memo]
+            if unknown:
+                fetched = self.cache.load_many(unknown)
         pending: dict[str, SimJob] = {}
+        memo_hits = disk_hits = 0
         for job, key in zip(jobs, keys):
             if key in self._memo:
-                self.counters.memo_hits += 1
+                memo_hits += 1
                 continue
             if key in pending:
                 # duplicate within the batch: satisfied by the pending
                 # job's single simulation, via the memo, at no cost
-                self.counters.memo_hits += 1
+                memo_hits += 1
                 continue
             cached = fetched.get(key)
             if cached is not None:
-                self.counters.disk_hits += 1
+                disk_hits += 1
                 self._memo[key] = cached
                 continue
             pending[key] = job
         if pending:
             runs = self._execute(list(pending.values()))
-            self.counters.simulated += len(pending)
+            sim_instructions = sim_seconds = 0
             for key, job, run in zip(pending, pending.values(), runs):
-                self.counters.sim_instructions += run.stats.instructions
-                self.counters.sim_seconds += run.wall_seconds
+                sim_instructions += run.stats.instructions
+                sim_seconds += run.wall_seconds
                 self._memo[key] = run
                 if self.cache:
                     self.cache.store(key, job, run)
+            with self._counters_lock:
+                self.counters.simulated += len(pending)
+                self.counters.sim_instructions += sim_instructions
+                self.counters.sim_seconds += sim_seconds
+                self.counters.memo_hits += memo_hits
+                self.counters.disk_hits += disk_hits
+        else:
+            with self._counters_lock:
+                self.counters.memo_hits += memo_hits
+                self.counters.disk_hits += disk_hits
+                if memo_hits or disk_hits:
+                    self.counters.warm_seconds += (time.perf_counter()
+                                                   - start)
         return [self._memo[key] for key in keys]
+
+    async def submit_async(self, jobs) -> list[KernelRun]:
+        """Async-friendly submit hook: :meth:`run` on the running
+        event loop's default thread executor.
+
+        The coroutine awaits without blocking the loop, so an asyncio
+        service (see :mod:`repro.serve`) can keep answering warm
+        probes while a batch simulates; :meth:`run`'s internal lock
+        makes overlapping submissions safe.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.run, list(jobs))
 
     def _execute(self, jobs: list[SimJob]) -> list[KernelRun]:
         """Execute jobs, fanning multicore jobs out shard-by-shard.
@@ -1070,10 +1268,16 @@ class ExperimentEngine:
         c = self.counters
         where = str(self.cache.root) if self.cache else "disabled"
         speed = ""
-        if c.sim_seconds > 0.0:
+        if c.simulated and c.sim_seconds > 0.0:
             speed = (f", {c.sim_instructions:,} instrs in "
                      f"{c.sim_seconds:.1f}s "
                      f"({c.throughput / 1e3:,.0f}k instr/s)")
+        elif c.simulated == 0 and c.total:
+            # fully-warm batch: instr/s would be a misleading zero —
+            # report what actually happened (hit rate + warm serve rate)
+            speed = f", {c.hit_rate:.0%} hit rate"
+            if c.warm_rate > 0.0:
+                speed += f" ({c.warm_rate:,.0f} warm jobs/s)"
         pool = ""
         if c.pool_spawns:
             pool = (f", pool {c.pool_spawns} spawn(s)/"

@@ -1,0 +1,198 @@
+"""The serve wire format: JSON job specs and result payloads.
+
+A job travels as a plain JSON object mirroring
+:class:`~repro.eval.engine.SimJob` — ``kernel`` and ``nm`` plus
+exactly one workload source (``model``/``layer``/``policy`` or
+``shape``/``seed``), and optionally ``backend``, ``verify``,
+``schedule`` (a :meth:`~repro.kernels.compiler.Schedule.to_dict`
+payload) and ``config`` (a nested
+:class:`~repro.arch.config.ProcessorConfig` dict; omitted means the
+scaled default).  ``policy`` is either a registered scale-policy name
+(``"tiny"``/``"small"``/...) or a full :class:`ScalePolicy` dict, so
+custom policies survive the wire byte-for-byte.
+
+The codec round-trips the cache identity exactly:
+``job_hash(job_from_dict(job_to_dict(job))) == job_hash(job)`` — the
+server's single-flight table and the shared on-disk cache both key on
+that hash, so a client-side spec and its server-side reconstruction
+can never alias or miss each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+
+from repro.arch.config import ProcessorConfig
+from repro.arch.stats import ExecutionStats
+from repro.arch.timing import resolve_backend
+from repro.errors import ReproError, ServeError
+from repro.eval.engine import SimJob
+from repro.eval.memo import canonical
+from repro.eval.runner import KernelRun
+from repro.kernels.compiler import Schedule
+from repro.nn.workload import POLICIES, ScalePolicy
+
+#: jobspec keys the decoder understands; anything else is a client bug
+#: (or a newer client talking to an older server) and fails loudly.
+_JOB_KEYS = frozenset({
+    "kernel", "nm", "model", "layer", "policy", "shape", "seed",
+    "backend", "verify", "schedule", "config",
+})
+
+
+def _rebuild_dataclass(template, payload, context: str):
+    """Rebuild a (possibly nested) frozen config dataclass from the
+    ``canonical()`` dict form, using ``template`` (an instance, e.g.
+    the default config) to recover the nested field types.  Works for
+    any tree of dataclasses whose leaves are scalars — which is
+    exactly what :class:`ProcessorConfig` and :class:`ScalePolicy`
+    are."""
+    cls = type(template)
+    if not isinstance(payload, dict):
+        raise ServeError(f"{context} must be an object, "
+                         f"not {type(payload).__name__}")
+    extra = set(payload) - {f.name for f in fields(cls)}
+    if extra:
+        raise ServeError(f"unknown {context} fields {sorted(extra)}")
+    kwargs = {}
+    for name, value in payload.items():
+        current = getattr(template, name)
+        if is_dataclass(current) and not isinstance(current, type):
+            value = _rebuild_dataclass(current, value,
+                                       f"{context}.{name}")
+        elif isinstance(current, tuple) and isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ReproError) as exc:
+        raise ServeError(f"invalid {context}: {exc}") from None
+
+
+def _policy_from_wire(value) -> ScalePolicy:
+    if isinstance(value, str):
+        if value not in POLICIES:
+            known = ", ".join(sorted(POLICIES))
+            raise ServeError(
+                f"unknown scale policy {value!r} (known: {known})")
+        return POLICIES[value]
+    if isinstance(value, dict):
+        payload = dict(value)
+        for key in ("rows_range", "k_range", "n_range"):
+            if isinstance(payload.get(key), list):
+                payload[key] = tuple(payload[key])
+        try:
+            return ScalePolicy(**payload)
+        except TypeError as exc:
+            raise ServeError(f"invalid scale policy: {exc}") from None
+    raise ServeError("policy must be a registered name or a "
+                     "ScalePolicy object")
+
+
+def _pair(value, name: str) -> tuple[int, int]:
+    if (not isinstance(value, (list, tuple)) or len(value) != 2
+            or not all(isinstance(v, int) for v in value)):
+        raise ServeError(f"{name} must be a pair of integers")
+    return tuple(value)
+
+
+def job_to_dict(job: SimJob) -> dict:
+    """The wire form of ``job`` (pure JSON, hash-identity preserving)."""
+    payload: dict = {
+        "kernel": job.kernel,
+        "nm": list(job.nm),
+        "backend": job.backend,
+        "verify": job.verify,
+        "schedule": job.schedule.to_dict(),
+        "config": canonical(job.config),
+    }
+    if job.model is not None:
+        payload["model"] = job.model
+        payload["layer"] = job.layer
+        payload["policy"] = canonical(job.policy)
+    else:
+        payload["shape"] = list(job.shape)
+        payload["seed"] = job.seed
+    return payload
+
+
+def job_from_dict(payload) -> SimJob:
+    """Reconstruct a :class:`SimJob` from its wire form.
+
+    Anything structurally wrong raises :class:`ServeError` (the HTTP
+    layer maps it to a 400) — a malformed spec must never reach the
+    engine, let alone poison the shared cache.
+    """
+    if not isinstance(payload, dict):
+        raise ServeError("job spec must be a JSON object, "
+                         f"not {type(payload).__name__}")
+    extra = set(payload) - _JOB_KEYS
+    if extra:
+        raise ServeError(f"unknown job spec fields {sorted(extra)}")
+    if "kernel" not in payload or "nm" not in payload:
+        raise ServeError("job spec needs at least kernel and nm")
+    kwargs = {
+        "kernel": payload["kernel"],
+        "nm": _pair(payload["nm"], "nm"),
+        "verify": bool(payload.get("verify", True)),
+        "backend": payload.get("backend"),
+    }
+    schedule = payload.get("schedule")
+    if schedule is not None:
+        try:
+            kwargs["schedule"] = Schedule.from_dict(schedule)
+        except (ReproError, TypeError) as exc:
+            raise ServeError(f"invalid schedule: {exc}") from None
+    config = payload.get("config")
+    if config is not None:
+        kwargs["config"] = _rebuild_dataclass(
+            ProcessorConfig.scaled_default(), config, "config")
+    if payload.get("model") is not None:
+        kwargs["model"] = payload["model"]
+        kwargs["layer"] = payload.get("layer")
+        if kwargs["layer"] is None:
+            raise ServeError("layer jobs need model, layer and policy")
+        policy = payload.get("policy")
+        if policy is None:
+            raise ServeError("layer jobs need model, layer and policy")
+        kwargs["policy"] = _policy_from_wire(policy)
+    elif payload.get("shape") is not None:
+        shape = payload["shape"]
+        if (not isinstance(shape, (list, tuple)) or len(shape) != 3
+                or not all(isinstance(v, int) for v in shape)):
+            raise ServeError("shape must be [rows, k, n]")
+        kwargs["shape"] = tuple(shape)
+        kwargs["seed"] = payload.get("seed", 0)
+    else:
+        raise ServeError("job spec needs exactly one workload source: "
+                         "model+layer+policy or shape+seed")
+    try:
+        return SimJob(**kwargs)
+    except ReproError as exc:
+        raise ServeError(f"invalid job spec: {exc}") from None
+
+
+def run_to_dict(run: KernelRun, include_stats: bool = False) -> dict:
+    """The wire form of one finished :class:`KernelRun`."""
+    payload = {
+        "kernel": run.kernel,
+        "backend": run.backend,
+        "verified": run.verified,
+        "cycles": run.stats.cycles,
+        "instructions": run.stats.instructions,
+    }
+    if include_stats:
+        payload["stats"] = canonical(run.stats)
+    return payload
+
+
+def run_from_dict(payload: dict) -> KernelRun:
+    """Reconstruct a full :class:`KernelRun` (requires the optional
+    ``stats`` block, i.e. a submit with ``include_stats=True``)."""
+    if "stats" not in payload:
+        raise ServeError("result payload carries no stats block "
+                         "(submit with include_stats)")
+    return KernelRun(kernel=payload["kernel"],
+                     stats=ExecutionStats(**payload["stats"]),
+                     verified=payload["verified"],
+                     backend=resolve_backend(payload.get("backend")))

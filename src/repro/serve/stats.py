@@ -1,0 +1,79 @@
+"""Latency accounting for the experiment server.
+
+A :class:`LatencyStats` is a bounded reservoir of latency samples plus
+exact count/total accounting.  Up to ``capacity`` samples are kept
+verbatim; beyond that, reservoir sampling keeps a uniform subset, so
+percentiles stay representative over arbitrarily long serving runs
+without unbounded memory.  The RNG is seeded, so identical sample
+streams summarise identically run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+
+class LatencyStats:
+    """Bounded latency reservoir with percentile estimation.
+
+    Thread-safe: the server records from the event loop while the
+    stats endpoint (or a load-test harness thread) summarises.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5EED)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        seconds = float(seconds)
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.capacity:
+                    self._samples[slot] = seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the sampled latencies
+        (0.0 when nothing has been recorded)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = (q / 100.0) * (len(samples) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = rank - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self, unit: float = 1e3) -> dict:
+        """Count + p50/p90/p99/max/mean, scaled by ``unit`` (default
+        milliseconds) and rounded for JSON payloads."""
+        return {
+            "count": self.count,
+            "p50": round(self.percentile(50) * unit, 3),
+            "p90": round(self.percentile(90) * unit, 3),
+            "p99": round(self.percentile(99) * unit, 3),
+            "max": round(self.max * unit, 3),
+            "mean": round(self.mean * unit, 3),
+        }

@@ -1,0 +1,438 @@
+"""Tests for the shared-cache experiment server (repro.serve)."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    ServeError,
+    ServeOverloadedError,
+    ServeUnavailableError,
+)
+from repro.eval.comparison import BASELINE, PROPOSED
+from repro.eval.engine import ExperimentEngine, SimJob, job_hash
+from repro.nn import TINY, ScalePolicy
+from repro.serve import ServeClient, ServeConfig, ServerThread, fig4_jobs
+from repro.serve.protocol import (
+    job_from_dict,
+    job_to_dict,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.serve.service import ExperimentService
+from repro.serve.stats import LatencyStats
+
+
+def tiny_job(kernel=PROPOSED, nm=(1, 4), seed=0, rows=8):
+    return SimJob.for_shape(rows, 32, 16, nm, kernel, seed=seed)
+
+
+def layer_job(policy=TINY):
+    return SimJob.for_layer("resnet50", "conv1", (1, 4), policy,
+                            PROPOSED)
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+def test_protocol_round_trip_preserves_job_hash():
+    """A spec that crossed the wire must hit the same cache entries as
+    the original — the whole serving model depends on it."""
+    custom = ScalePolicy(name="custom", rows_div=4,
+                         rows_range=(8, 16), k_div=8,
+                         k_range=(32, 32), n_div=8,
+                         n_range=(16, 16))
+    for job in (tiny_job(), tiny_job(kernel=BASELINE, nm=(2, 4)),
+                layer_job(), layer_job(policy=custom)):
+        wire = json.loads(json.dumps(job_to_dict(job)))  # real JSON trip
+        rebuilt = job_from_dict(wire)
+        assert job_hash(rebuilt) == job_hash(job)
+        assert rebuilt == job
+
+
+def test_protocol_policy_by_name():
+    job = job_from_dict({"kernel": PROPOSED, "nm": [1, 4],
+                         "model": "resnet50", "layer": "conv1",
+                         "policy": "tiny"})
+    assert job.policy == TINY
+
+
+def test_protocol_rejects_malformed_specs():
+    good = job_to_dict(tiny_job())
+    bad_specs = [
+        "not an object",
+        {},  # no kernel/nm
+        {**good, "frobnicate": 1},  # unknown field
+        {**good, "nm": [1, 4, 4]},  # not a pair
+        {**good, "shape": [8, 32]},  # not a triple
+        {**good, "policy": "no-such-policy", "model": "resnet50",
+         "layer": "conv1"},
+        {k: v for k, v in good.items() if k not in ("shape", "seed")},
+        {**good, "schedule": {"dataflow": "bogus"}},
+        {**job_to_dict(layer_job()), "layer": None},
+    ]
+    for spec in bad_specs:
+        with pytest.raises(ServeError):
+            job_from_dict(spec)
+
+
+def test_run_payload_round_trip():
+    engine = ExperimentEngine(jobs=1, cache=False)
+    try:
+        run = engine.run([tiny_job()])[0]
+    finally:
+        engine.shutdown()
+    payload = json.loads(json.dumps(run_to_dict(run,
+                                                include_stats=True)))
+    rebuilt = run_from_dict(payload)
+    assert rebuilt.stats.cycles == run.stats.cycles
+    assert rebuilt.verified == run.verified
+    with pytest.raises(ServeError):
+        run_from_dict(run_to_dict(run))  # no stats block
+
+
+# ----------------------------------------------------------------------
+# Latency reservoir
+# ----------------------------------------------------------------------
+def test_latency_stats_exact_until_capacity():
+    stats = LatencyStats(capacity=100)
+    for ms in range(1, 101):
+        stats.record(ms / 1e3)
+    assert stats.count == 100
+    assert stats.percentile(0) == pytest.approx(0.001)
+    assert stats.percentile(50) == pytest.approx(0.0505)
+    assert stats.percentile(100) == pytest.approx(0.100)
+    assert stats.max == pytest.approx(0.100)
+    summary = stats.summary()
+    assert summary["count"] == 100
+    assert summary["p50"] == pytest.approx(50.5)
+
+
+def test_latency_stats_reservoir_stays_bounded():
+    stats = LatencyStats(capacity=64)
+    for i in range(10_000):
+        stats.record(i / 1e6)
+    assert stats.count == 10_000
+    assert len(stats._samples) == 64
+    # the subset is uniform-ish: the median must land mid-range
+    assert 0.002 < stats.percentile(50) < 0.008
+
+
+def test_latency_stats_empty_and_validation():
+    stats = LatencyStats()
+    assert stats.percentile(99) == 0.0
+    assert stats.mean == 0.0
+    with pytest.raises(ValueError):
+        stats.percentile(101)
+    with pytest.raises(ValueError):
+        LatencyStats(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# ServeConfig
+# ----------------------------------------------------------------------
+def test_serve_config_validation_and_env(monkeypatch):
+    with pytest.raises(ServeError):
+        ServeConfig(batch_window=-1)
+    with pytest.raises(ServeError):
+        ServeConfig(interactive_depth=0)
+    monkeypatch.setenv("REPRO_SERVE_DEPTH", "7")
+    monkeypatch.setenv("REPRO_SERVE_WINDOW", "0.5")
+    config = ServeConfig.from_env(batch_window=0.25)
+    assert config.interactive_depth == 7  # env fills the gap
+    assert config.batch_window == 0.25  # explicit override wins
+    assert config.depth("interactive") == 7
+    assert config.depth("bulk") == config.bulk_depth
+
+
+# ----------------------------------------------------------------------
+# Service semantics (no HTTP): warm path, single-flight, admission
+# ----------------------------------------------------------------------
+def run_service(coro_fn, config=None, jobs=1):
+    """Drive one async service scenario to completion."""
+
+    async def scenario():
+        service = ExperimentService(
+            engine=ExperimentEngine(jobs=jobs),
+            config=config or ServeConfig(batch_window=0.001))
+        await service.start()
+        try:
+            return await coro_fn(service)
+        finally:
+            await service.close()
+
+    return asyncio.run(scenario())
+
+
+def test_service_warm_path_answers_without_queueing():
+    async def scenario(service):
+        jobs = [tiny_job(seed=310), tiny_job(nm=(2, 4), seed=311)]
+        first = service.submit(jobs)
+        await first.results()
+        second = service.submit(jobs)
+        assert second.counts() == {"warm": 2, "joined": 0, "queued": 0}
+        assert second.done_count() == 2  # no await needed
+        runs = await second.results()
+        assert all(run.verified for run in runs)
+        assert service.counters["warm_hits"] == 2
+        assert service.latency["warm"].count == 2
+
+    run_service(scenario)
+
+
+def test_service_single_flight_simulates_duplicates_once():
+    async def scenario(service):
+        job = tiny_job(seed=320)
+        handles = [service.submit([job]) for _ in range(5)]
+        counts = [h.entries[0]["source"] for h in handles]
+        assert counts[0] == "queued"
+        assert counts[1:] == ["joined"] * 4
+        results = [await h.results() for h in handles]
+        cycles = {r[0].stats.cycles for r in results}
+        assert len(cycles) == 1
+        assert service.counters["single_flight_joins"] == 4
+        assert service.engine.counters.simulated == 1
+
+    run_service(scenario)
+
+
+def test_service_dedups_within_one_submission():
+    async def scenario(service):
+        job = tiny_job(seed=330)
+        handle = service.submit([job, job, job])
+        assert handle.counts() == {"warm": 0, "joined": 2, "queued": 1}
+        await handle.results()
+        assert service.engine.counters.simulated == 1
+
+    run_service(scenario)
+
+
+def test_service_sheds_overload_with_retry_after():
+    async def scenario(service):
+        jobs = [tiny_job(seed=s) for s in range(400, 403)]
+        with pytest.raises(ServeOverloadedError) as excinfo:
+            service.submit(jobs, lane="bulk")
+        assert excinfo.value.retry_after == pytest.approx(2.5)
+        assert service.counters["shed"] == 1
+        # the shed was all-or-nothing: nothing leaked into the queue
+        assert service.queue_depths()["bulk"] == 0
+        # a submission that fits is still admitted afterwards
+        handle = service.submit(jobs[:2], lane="bulk")
+        runs = await handle.results()
+        assert len(runs) == 2
+
+    run_service(scenario, config=ServeConfig(
+        batch_window=0.001, bulk_depth=2, retry_after=2.5))
+
+
+def test_service_warm_and_joined_never_consume_capacity():
+    async def scenario(service):
+        base = tiny_job(seed=340)
+        await service.submit([base]).results()  # make it warm
+        # depth 1: one genuinely new job + a warm one + a dup must fit
+        fresh = tiny_job(seed=341)
+        handle = service.submit([base, fresh, fresh])
+        assert handle.counts() == {"warm": 1, "joined": 1, "queued": 1}
+        await handle.results()
+
+    run_service(scenario, config=ServeConfig(batch_window=0.001,
+                                             interactive_depth=1))
+
+
+def test_service_rejects_bad_lane_and_empty_submission():
+    async def scenario(service):
+        with pytest.raises(ServeError):
+            service.submit([tiny_job()], lane="express")
+        with pytest.raises(ServeError):
+            service.submit([])
+
+    run_service(scenario)
+
+
+def test_service_isolates_poisoned_jobs():
+    async def scenario(service):
+        good = tiny_job(seed=350)
+        bad = SimJob.for_shape(8, 32, 16, (1, 4), "no-such-kernel")
+        handle = service.submit([good, bad])
+        results = await handle.results()
+        assert results[0].verified
+        assert isinstance(results[1], Exception)
+        assert service.counters["job_errors"] == 1
+
+    run_service(scenario)
+
+
+def test_service_stats_shape():
+    async def scenario(service):
+        await service.submit([tiny_job(seed=300)]).results()
+        service.submit([tiny_job(seed=300)])  # warm
+        stats = service.stats()
+        assert stats["jobs"] == 2
+        assert stats["warm_hits"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert set(stats["latency_ms"]) == {"warm", "interactive",
+                                            "bulk"}
+        assert stats["engine"]["simulated"] == 1
+        assert stats["engine"]["summary"].startswith("engine:")
+
+    run_service(scenario)
+
+
+# ----------------------------------------------------------------------
+# HTTP end-to-end (embedded server + blocking client)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(batch_window=0.001)) as thread:
+        client = ServeClient(thread.url)
+        client.wait_until_ready(20)
+        yield thread
+
+
+def test_http_cold_then_warm_round_trip(server):
+    client = ServeClient(server.url)
+    jobs = [tiny_job(seed=360), tiny_job(seed=361)]
+    first = client.submit(jobs)
+    assert first["counts"]["queued"] == 2
+    assert all("error" not in r for r in first["results"])
+    second = client.submit(jobs, include_stats=True)
+    assert second["counts"] == {"warm": 2, "joined": 0, "queued": 0}
+    for before, after in zip(first["results"], second["results"]):
+        assert after["source"] == "warm"
+        assert after["cycles"] == before["cycles"]
+        assert run_from_dict(after).stats.cycles == after["cycles"]
+
+
+def test_http_submit_nowait_status_and_stream(server):
+    client = ServeClient(server.url)
+    jobs = [tiny_job(seed=370), tiny_job(seed=371), tiny_job(seed=372)]
+    handle = client.submit(jobs, wait=False)
+    assert handle["total"] == 3
+    lines = list(client.stream(handle["batch"]))
+    assert len(lines) == 4  # one per job + the summary
+    summary = lines[-1]
+    assert summary["done"] is True and summary["errors"] == 0
+    assert {line["index"] for line in lines[:-1]} == {0, 1, 2}
+    status = client.batch_status(handle["batch"])
+    assert status["done"] == status["total"] == 3
+    assert all(job["state"] == "done" for job in status["jobs"])
+
+
+def test_http_stats_and_health(server):
+    client = ServeClient(server.url)
+    assert client.healthy()
+    stats = client.stats()
+    assert stats["engine"]["workers"] >= 1
+    assert "queue_depth" in stats and "latency_ms" in stats
+
+
+def test_http_error_mapping(server):
+    client = ServeClient(server.url)
+    with pytest.raises(ServeError, match="404"):
+        client.batch_status("no-such-batch")
+    with pytest.raises(ServeError, match="404"):
+        client._json("GET", "/v1/frobnicate")
+    with pytest.raises(ServeError, match="400"):
+        client._json("POST", "/v1/jobs", {"jobs": []})
+    with pytest.raises(ServeError, match="400"):
+        client._json("POST", "/v1/jobs",
+                     {"jobs": [{"kernel": "x", "nm": [1]}]})
+    status, _, _ = client._request("POST", "/v1/healthz")
+    assert status == 404  # wrong method
+
+
+def test_http_concurrent_identical_cold_jobs_simulate_once(server):
+    client = ServeClient(server.url)
+    before = client.stats()["engine"]["simulated"]
+    job = tiny_job(seed=365, rows=32)
+    results = []
+
+    def submit():
+        results.append(ServeClient(server.url).submit([job]))
+
+    threads = [threading.Thread(target=submit) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 6
+    cycles = {r["results"][0]["cycles"] for r in results}
+    assert len(cycles) == 1
+    sources = [r["results"][0]["source"] for r in results]
+    assert sources.count("queued") <= 1  # dupes joined or hit warm
+    after = client.stats()["engine"]["simulated"]
+    assert after - before == 1  # the single-flight guarantee
+
+
+def test_http_overload_returns_429():
+    config = ServeConfig(batch_window=0.001, bulk_depth=1,
+                         retry_after=3.0)
+    with ServerThread(config) as thread:
+        client = ServeClient(thread.url)
+        client.wait_until_ready(20)
+        with pytest.raises(ServeOverloadedError) as excinfo:
+            client.submit([tiny_job(seed=s) for s in range(380, 384)],
+                          lane="bulk")
+        assert excinfo.value.retry_after == pytest.approx(3.0)
+
+
+def test_client_unavailable_raises_cleanly():
+    client = ServeClient("http://127.0.0.1:1", timeout=0.5)
+    with pytest.raises(ServeUnavailableError):
+        client.stats()
+    assert not client.healthy()
+    with pytest.raises(ServeUnavailableError):
+        client.wait_until_ready(timeout=0.3, poll=0.1)
+
+
+def test_fig4_jobs_shape():
+    jobs = fig4_jobs("resnet50", scale="tiny")
+    assert len(jobs) == 80  # 20 unique layers x 2 kernels x 2 patterns
+    assert len({job_hash(j) for j in jobs}) == len(jobs)
+    with pytest.raises(ServeError):
+        fig4_jobs("resnet50", scale="no-such-scale")
+
+
+# ----------------------------------------------------------------------
+# CLI verbs
+# ----------------------------------------------------------------------
+def test_cli_submit_against_embedded_server(capsys, tmp_path,
+                                            monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    with ServerThread(ServeConfig(batch_window=0.001)) as thread:
+        argv = ["submit", "--url", thread.url, "--wait-ready", "20",
+                "--model", "resnet50", "--scale", "tiny", "--nm", "1:4"]
+        assert main(argv) == 0
+        out_cold = capsys.readouterr().out
+        assert "40 job(s)" in out_cold
+        assert main([*argv, "--expect-warm"]) == 0
+        out_warm = capsys.readouterr().out
+        assert "40 warm" in out_warm
+        assert main(["submit", "--url", thread.url, "--stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["warm_hits"] >= 40
+
+
+def test_cli_submit_expect_warm_fails_cold(capsys, tmp_path,
+                                           monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    with ServerThread(ServeConfig(batch_window=0.001)) as thread:
+        code = main(["submit", "--url", thread.url, "--wait-ready",
+                     "20", "--nm", "2:4", "--expect-warm"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_submit_unreachable_server_is_operator_error(capsys):
+    from repro.cli import main
+
+    code = main(["submit", "--url", "http://127.0.0.1:1",
+                 "--timeout", "0.5"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
