@@ -1,0 +1,227 @@
+"""Sweep-scale cold-path benchmark: bulk analytic pricing vs per-job.
+
+Builds a >= 2k-job schedule x pattern x µarch sweep (all
+``analytic-sampled``) and measures:
+
+* **cold (bulk)** — jobs/s of a first-ever engine batch through the
+  cold-job planner's in-process bulk path (one deduplicated feature
+  matrix across the whole sweep; asserted to route *every* job bulk);
+* **cold (per-job)** — jobs/s of the pre-planner path (``bulk=False``)
+  over a deterministic sample covering every distinct trace geometry,
+  so each sampled job pays its own operand generation, staging,
+  compile and profile walk;
+* **warm** — jobs/s of a fresh engine replaying the full sweep from
+  the on-disk cache (asserted to perform **zero** simulations);
+* the **acceptance gate**: bulk cold throughput must be >=
+  ``SWEEP_SPEEDUP_FLOOR`` x the per-job cold throughput, with
+  bit-identical results (only ``wall_seconds`` may differ) and
+  unchanged ``job_hash`` keys — cache entries from either path
+  interchange, which the warm replay exercises end to end.
+
+The sweep deliberately varies knobs the compiled trace does *not* see
+(seeds, L2 size) alongside knobs it does (shape, kernel, N:M,
+schedule) and knobs only the profile walk sees (L2 line size), so the
+bulk evaluator's two memo levels — per-geometry traces, per
+``(trace, vlmax, line_bytes)`` profiles — are both exercised.
+
+Measured numbers are archived as ``sweep_throughput.json`` (uploaded
+by the CI ``sweep-smoke`` job).  The sweep does not scale down with
+``REPRO_BENCH_POLICY``: the ISSUE floor is a >= 2000-job sweep and
+the amortisation argument needs the scale.
+"""
+
+import json
+import sys
+import tempfile
+import time
+from dataclasses import asdict, replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from common import (  # noqa: E402
+    RESULTS_DIR,
+    config_from_env,
+    publish,
+)
+
+from repro.eval.engine import (
+    ExperimentEngine,
+    ResultCache,
+    SimJob,
+    atomic_write_text,
+    job_hash,
+)
+from repro.eval.report import format_table
+from repro.kernels.compiler.spec import Schedule
+
+BACKEND = "analytic-sampled"
+
+#: The acceptance gate (see ISSUE/PR): the bulk cold path must price
+#: the sweep at >= this multiple of the per-job cold path's jobs/s.
+#: Typical local ratios are 25-40x; 20x is the contract.
+SWEEP_SPEEDUP_FLOOR = 20.0
+
+#: Trace-visible axes: every combination is a distinct compiled trace.
+SHAPES = ((96, 384, 96), (128, 512, 128))
+KERNELS = ("rowwise-spmm", "indexmac-spmm")
+PATTERNS = ((1, 4), (2, 4), (2, 8))
+SCHEDULES = tuple(Schedule(tile_rows=t, unroll=u)
+                  for t in (8, 16) for u in (1, 4))
+
+#: Profile-visible axis (one profile walk per trace per line size) and
+#: trace-invisible axes (seeds change operand values the analytic
+#: backend never reads; L2 size changes the job identity but not the
+#: profile) — these only multiply the job count.
+LINE_BYTES = (32, 64, 128)
+L2_KIB = (64, 96)
+SEEDS = tuple(range(16))
+
+
+def _configs():
+    base = config_from_env()
+    return [replace(base, l2=replace(base.l2, size_bytes=kib * 1024,
+                                     line_bytes=line))
+            for kib in L2_KIB for line in LINE_BYTES]
+
+
+def _job_set():
+    return [
+        SimJob.for_shape(rows, k, n, nm, kernel, seed=seed,
+                         schedule=schedule, config=config,
+                         backend=BACKEND)
+        for (rows, k, n) in SHAPES
+        for kernel in KERNELS
+        for nm in PATTERNS
+        for schedule in SCHEDULES
+        for config in _configs()
+        for seed in SEEDS
+    ]
+
+
+def _geometry_sample(jobs):
+    """One job per distinct trace geometry (shape, kernel, nm,
+    schedule), at a single config and seed — the per-job reference
+    set.  Every sampled job compiles its own trace on the per-job
+    path, so the reference rate charges the full cold cost."""
+    sample, seen = [], set()
+    for job in jobs:
+        key = (job.shape, job.kernel, job.nm, job.schedule)
+        if job.seed == 0 and key not in seen:
+            seen.add(key)
+            sample.append(job)
+    return sample
+
+
+def _stats_identical(a, b) -> bool:
+    """Bit-exact result equality (wall_seconds is host metadata)."""
+    sa, sb = asdict(a.stats), asdict(b.stats)
+    sa["extra"] = {k: v for k, v in sa["extra"].items()
+                   if k != "wall_seconds"}
+    sb["extra"] = {k: v for k, v in sb["extra"].items()
+                   if k != "wall_seconds"}
+    return a.kernel == b.kernel and a.verified == b.verified and sa == sb
+
+
+def bench_sweep_throughput(benchmark, capsys):
+    jobs = _job_set()
+    assert len(jobs) >= 2000, "ISSUE floor: a >= 2000-job sweep"
+    sample = _geometry_sample(jobs)
+    sample_indices = [jobs.index(job) for job in sample]
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        bulk_dir, perjob_dir = Path(tmp) / "bulk", Path(tmp) / "perjob"
+
+        # -- cold, bulk: the whole sweep through the planner ---------
+        engine = ExperimentEngine(jobs=1, cache_dir=bulk_dir, bulk=True)
+        t0 = time.perf_counter()
+        bulk_runs = engine.run(jobs)
+        bulk_s = time.perf_counter() - t0
+        counters = engine.counters
+        assert counters.simulated == len(jobs)
+        assert counters.bulk_jobs == len(jobs), (
+            f"planner routed {counters.pooled_jobs} sweep jobs to the "
+            f"pooled path")
+        stage_seconds = dict(counters.stage_seconds)
+        engine.shutdown(wait=False)
+
+        # -- cold, per-job: the geometry sample with bulk disabled ---
+        reference = ExperimentEngine(jobs=1, cache_dir=perjob_dir,
+                                     bulk=False)
+        t0 = time.perf_counter()
+        perjob_runs = reference.run(sample)
+        perjob_s = time.perf_counter() - t0
+        assert reference.counters.simulated == len(sample)
+        assert reference.counters.bulk_jobs == 0
+        reference.shutdown(wait=False)
+
+        # -- observational identity across the two paths -------------
+        for index, perjob in zip(sample_indices, perjob_runs):
+            assert _stats_identical(bulk_runs[index], perjob), (
+                f"bulk result drifted from per-job for {sample[0].kernel}")
+        bulk_keys = {job_hash(job) for job in jobs}
+        assert {job_hash(job) for job in sample} <= bulk_keys, \
+            "job_hash keys drifted between paths"
+        # per-job-written entries must be readable as-is from the
+        # bulk-written cache: same keys, interchangeable payloads
+        hits = ResultCache(bulk_dir).load_many(
+            [job_hash(job) for job in sample])
+        assert len(hits) == len(sample), "cache entries do not interchange"
+
+        # -- warm: fresh engine over the full sweep, zero simulations
+        def warm_replay():
+            warm = ExperimentEngine(jobs=1, cache_dir=bulk_dir)
+            runs = warm.run(jobs)
+            assert warm.counters.simulated == 0, "warm run simulated!"
+            return runs
+
+        t0 = time.perf_counter()
+        warm_runs = warm_replay()
+        warm_s = time.perf_counter() - t0
+        for cold, warm in zip(bulk_runs, warm_runs):
+            assert _stats_identical(cold, warm), "warm result drifted"
+        benchmark.pedantic(warm_replay, rounds=3, iterations=1)
+
+    bulk_rate = len(jobs) / bulk_s
+    perjob_rate = len(sample) / perjob_s
+    speedup = bulk_rate / perjob_rate if perjob_rate else float("inf")
+
+    report = {
+        "jobs": len(jobs),
+        "geometries": len(sample),
+        "bulk_cold_seconds": round(bulk_s, 6),
+        "bulk_cold_jobs_per_s": round(bulk_rate, 2),
+        "perjob_sample_jobs": len(sample),
+        "perjob_cold_seconds": round(perjob_s, 6),
+        "perjob_cold_jobs_per_s": round(perjob_rate, 2),
+        "warm_seconds": round(warm_s, 6),
+        "warm_jobs_per_s": round(len(jobs) / warm_s, 2),
+        "sweep_speedup": round(speedup, 2),
+        "sweep_speedup_floor": SWEEP_SPEEDUP_FLOOR,
+        "stage_seconds": {name: round(seconds, 6)
+                          for name, seconds in stage_seconds.items()},
+    }
+    atomic_write_text(RESULTS_DIR / "sweep_throughput.json",
+                      json.dumps(report, indent=2) + "\n")
+
+    stages = " ".join(f"{name} {seconds:.2f}s"
+                      for name, seconds in stage_seconds.items())
+    rows = [
+        ["cold sweep (bulk)", f"{bulk_s:.3f}s",
+         f"{bulk_rate:,.0f} jobs/s"],
+        ["cold sample (per-job)", f"{perjob_s:.3f}s",
+         f"{perjob_rate:,.0f} jobs/s"],
+        ["warm replay", f"{warm_s:.3f}s",
+         f"{len(jobs) / warm_s:,.0f} jobs/s"],
+        ["cold speedup", f"{speedup:,.1f}x",
+         f"(gate >= {SWEEP_SPEEDUP_FLOOR:.0f}x)"],
+        ["cold stages", stages, ""],
+    ]
+    publish("sweep_throughput",
+            format_table(["path", "time", "rate"], rows,
+                         title=f"sweep cold path ({len(jobs)} jobs, "
+                               f"{len(sample)} trace geometries)"),
+            capsys)
+
+    assert speedup >= SWEEP_SPEEDUP_FLOOR, (
+        f"bulk path only {speedup:.1f}x the per-job analytic path "
+        f"(gate {SWEEP_SPEEDUP_FLOOR:.0f}x)")

@@ -183,7 +183,11 @@ def _walk_profile(profile: TraceProfile, nodes, mult: int, vl: int,
                     elif instr.rd and op not in BRANCH_OPS \
                             and op not in SCALAR_STORE_OPS:
                         consts[instr.rd] = None
-        else:
+        elif node.repeat:
+            # a zero-trip loop never activates: its body must not count
+            # an entry nor leak its vsetvli into the exit vl.  (Trace
+            # builders discard empty loops, so this only guards
+            # hand-built Loop nodes.)
             profile.loop_entries += mult
             vl = _walk_profile(profile, node.body, mult * node.repeat, vl,
                                vlmax, line_bytes)
@@ -219,6 +223,20 @@ class CalibrationTable:
     def predict(self, features: np.ndarray) -> float:
         """Predicted cycles for one feature vector (never negative)."""
         return float(max(0.0, float(np.dot(self.weights, features))))
+
+    def predict_many(self, matrix: np.ndarray) -> np.ndarray:
+        """Predicted cycles for a feature matrix, one row per profile.
+
+        Prices each row with the *same* dot-product kernel as
+        :meth:`predict`, not a matrix-vector product: BLAS gemv may
+        reassociate the reduction and differ from the dot kernel in the
+        last ulp, and the bulk sweep path promises bit-identical cycles
+        to the per-job path.  The per-row loop runs only over
+        *deduplicated* profiles, so it is never the bulk bottleneck.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return np.array([self.predict(row) for row in matrix],
+                        dtype=np.float64)
 
     # -- persistence ---------------------------------------------------
     def to_json(self) -> str:
@@ -267,7 +285,13 @@ class CalibrationTable:
 
     def digest(self) -> str:
         """Content hash (folded into analytic jobs' cache identity)."""
-        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+        return self.sha256()[:16]
+
+    def sha256(self) -> str:
+        """Full content digest (recorded in ``Run.stats.extra`` as
+        result provenance; :meth:`digest` stays the 16-char cache-key
+        prefix so existing job hashes are untouched)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
 
 
 def fit_table(samples) -> CalibrationTable:

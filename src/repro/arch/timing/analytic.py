@@ -45,8 +45,24 @@ class AnalyticSampledBackend(TimingBackend):
 
         table = self.table if self.table is not None else active_table()
         profile = profile_trace(trace, proc.config)
+        return self.price(profile, table, trace.dynamic_length)
+
+    def price(self, profile, table, dynamic_length: int,
+              cycles: float | None = None) -> BackendResult:
+        """Turn one :class:`~repro.analytic.calibration.TraceProfile`
+        into a priced :class:`BackendResult`.
+
+        The single assembly point for analytic results: :meth:`run`
+        calls it per trace, and the engine's bulk sweep path
+        (:mod:`repro.analytic.bulk`) calls it per job with ``cycles``
+        precomputed over a deduplicated feature matrix — both produce
+        bit-identical stats.  A fresh :class:`ExecutionStats` is built
+        per call, so callers may share one profile across many jobs.
+        """
+        if cycles is None:
+            cycles = table.predict(profile.features())
         stats = ExecutionStats(
-            cycles=table.predict(profile.features()),
+            cycles=cycles,
             instructions=profile.instructions,
             scalar_instructions=profile.scalar_instructions,
             vector_instructions=profile.vector_instructions,
@@ -60,5 +76,7 @@ class AnalyticSampledBackend(TimingBackend):
             slide_count=profile.slides,
             branches=profile.branches,
         )
-        stats.extra["calibration"] = table.digest()
-        return self.record(stats, 0, trace.dynamic_length)
+        sha = table.sha256()
+        stats.extra["calibration"] = sha[:16]
+        stats.extra["calibration_sha256"] = sha
+        return self.record(stats, 0, dynamic_length)

@@ -118,6 +118,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk "
                              "simulation result cache")
+    parser.add_argument("--bulk", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="route cold analytic jobs through the "
+                             "in-process bulk evaluator (default: "
+                             "$REPRO_BULK or on; --no-bulk forces the "
+                             "per-job pooled path, bit-identically)")
     _add_backend_arg(parser)
 
 
@@ -221,7 +227,8 @@ def _install_engine(args) -> ExperimentEngine:
     """Build the engine selected by --jobs/--no-cache (env fills gaps)."""
     engine = ExperimentEngine.from_env(
         jobs=getattr(args, "jobs", None),
-        cache=False if getattr(args, "no_cache", False) else None)
+        cache=False if getattr(args, "no_cache", False) else None,
+        bulk=getattr(args, "bulk", None))
     set_engine(engine)
     return engine
 
@@ -553,7 +560,8 @@ def cmd_serve(args) -> int:
 
     engine = ExperimentEngine.from_env(
         jobs=getattr(args, "jobs", None),
-        cache=False if getattr(args, "no_cache", False) else None)
+        cache=False if getattr(args, "no_cache", False) else None,
+        bulk=getattr(args, "bulk", None))
     config = ServeConfig.from_env(
         batch_window=args.window, max_batch=args.batch,
         interactive_depth=args.depth, bulk_depth=args.bulk_depth,
@@ -899,6 +907,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine worker processes (0 = one per CPU)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without the on-disk result cache")
+    p.add_argument("--bulk", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="route cold analytic jobs through the "
+                        "in-process bulk evaluator (default: "
+                        "$REPRO_BULK or on)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

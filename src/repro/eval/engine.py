@@ -86,6 +86,7 @@ from repro.arch.stats import ExecutionStats
 from repro.arch.timing import resolve_backend
 from repro.errors import EngineError
 from repro.eval.memo import canonical, content_key, worker_memo
+from repro.eval.planner import plan_batch
 from repro.eval.runner import (
     CSR_KERNEL,
     KernelRun,
@@ -444,6 +445,67 @@ def _chunk_tasks(jobs, tasks, n_chunks):
 # ======================================================================
 # On-disk result cache
 # ======================================================================
+#: Advisory lockfile guarding offline cache maintenance (lives inside
+#: the cache root, outside the ``xx/`` entry shards and ``pack/``).
+CACHE_LOCK_NAME = ".lock"
+
+
+def acquire_cache_lock(root: Path, exclusive: bool = False):
+    """Take the cache directory's advisory lock; returns a handle for
+    :func:`release_cache_lock` (or ``None`` where unsupported).
+
+    Online users of a cache directory (an :class:`~repro.serve.service.
+    ExperimentService` for its whole lifetime) hold the lock *shared* —
+    many processes may store into one cache concurrently, that is a
+    supported sharing model.  Offline maintenance
+    (:meth:`ResultCache.vacuum`) takes it *exclusive*, non-blocking:
+    if any live holder exists the vacuum fails with a clean
+    :class:`EngineError` instead of racing concurrent manifest appends.
+
+    On platforms without ``fcntl`` (or filesystems rejecting ``flock``)
+    the lock degrades to a no-op ``None`` handle — the historical,
+    unguarded behaviour.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-posix
+        return None
+    root = Path(root)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        handle = open(root / CACHE_LOCK_NAME, "a+")
+    except OSError:
+        return None
+    try:
+        if exclusive:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise EngineError(
+                    f"cache {root} is in use (another process holds "
+                    f"{root / CACHE_LOCK_NAME}, e.g. a live experiment "
+                    "server): stop it before running offline "
+                    "maintenance like `repro cache --vacuum`") from None
+        else:
+            fcntl.flock(handle, fcntl.LOCK_SH)
+    except EngineError:
+        raise
+    except OSError:  # pragma: no cover - exotic filesystems
+        handle.close()
+        return None
+    return handle
+
+
+def release_cache_lock(handle) -> None:
+    """Release a lock from :func:`acquire_cache_lock` (None-safe)."""
+    if handle is not None:
+        try:
+            handle.close()  # closing the fd drops the flock
+        except OSError:  # pragma: no cover
+            pass
+
+
 def atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename)."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -762,14 +824,23 @@ class ResultCache:
         segments, and unlinks per-file entries already adopted into
         the index — the index alone serves them afterwards (per-file
         entries the index has never seen are kept untouched).  This is
-        an offline maintenance operation: run it while no other engine
-        process is storing into the same cache directory, or their
-        concurrent manifest appends may be lost.
+        an offline maintenance operation: the cache directory's
+        advisory lock is taken exclusively for its duration, so a
+        vacuum can never race a live :class:`~repro.serve.service.
+        ExperimentService` (which holds the lock shared) — it fails
+        with a clean :class:`EngineError` instead.
 
         Returns ``(files_removed, bytes_reclaimed)``.
         """
         if not self.index_enabled:
             return 0, 0
+        lock = acquire_cache_lock(self.root, exclusive=True)
+        try:
+            return self._vacuum_locked()
+        finally:
+            release_cache_lock(lock)
+
+    def _vacuum_locked(self) -> tuple[int, int]:
         self._index = None  # re-read the manifest, including appends
         index = dict(self._load_index())
         _, bytes_before = self.usage()
@@ -868,6 +939,15 @@ class EngineCounters:
     pool_spawns: int = 0
     pool_respawns: int = 0
     pool_batches: int = 0
+    #: cold-job planner split: jobs priced by the in-process bulk
+    #: analytic evaluator vs jobs executed through the pooled path
+    #: (``bulk_jobs + pooled_jobs == simulated``).
+    bulk_jobs: int = 0
+    pooled_jobs: int = 0
+    #: wall-clock seconds per cold-path stage (operands / compile /
+    #: profile / price from the bulk evaluator, plus pooled execution
+    #: and the batched result store).
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -912,7 +992,10 @@ class EngineCounters:
             warm_seconds=self.warm_seconds,
             pool_spawns=self.pool_spawns,
             pool_respawns=self.pool_respawns,
-            pool_batches=self.pool_batches)
+            pool_batches=self.pool_batches,
+            bulk_jobs=self.bulk_jobs,
+            pooled_jobs=self.pooled_jobs,
+            stage_seconds=dict(self.stage_seconds))
 
     def since(self, start: "EngineCounters") -> "EngineCounters":
         """The counts accumulated after ``start`` was snapshotted."""
@@ -925,7 +1008,18 @@ class EngineCounters:
             warm_seconds=self.warm_seconds - start.warm_seconds,
             pool_spawns=self.pool_spawns - start.pool_spawns,
             pool_respawns=self.pool_respawns - start.pool_respawns,
-            pool_batches=self.pool_batches - start.pool_batches)
+            pool_batches=self.pool_batches - start.pool_batches,
+            bulk_jobs=self.bulk_jobs - start.bulk_jobs,
+            pooled_jobs=self.pooled_jobs - start.pooled_jobs,
+            stage_seconds={
+                name: seconds - start.stage_seconds.get(name, 0.0)
+                for name, seconds in self.stage_seconds.items()})
+
+    def add_stage_seconds(self, stages: dict) -> None:
+        """Fold one batch's per-stage seconds into the running totals."""
+        for name, seconds in stages.items():
+            self.stage_seconds[name] = (self.stage_seconds.get(name, 0.0)
+                                        + seconds)
 
 
 class ExperimentEngine:
@@ -936,14 +1030,21 @@ class ExperimentEngine:
     toggles the on-disk result cache at ``cache_dir``.  ``pool_idle``
     is the idle-reap timeout of the persistent worker pool in seconds
     (``None`` reads ``$REPRO_POOL_IDLE``, default 60; ``<= 0`` keeps
-    the pool alive until :meth:`shutdown`).
+    the pool alive until :meth:`shutdown`).  ``bulk`` toggles the
+    cold-job planner's in-process bulk analytic path (``None`` reads
+    ``$REPRO_BULK``, default on; the split is observationally
+    identical either way — this is the escape hatch).
     """
 
     def __init__(self, jobs: int | None = 1, cache: bool = True,
                  cache_dir: Path | None = None,
-                 pool_idle: float | None = None):
+                 pool_idle: float | None = None,
+                 bulk: bool | None = None):
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         self.cache = ResultCache(cache_dir) if cache else None
+        if bulk is None:
+            bulk = os.environ.get("REPRO_BULK", "1") != "0"
+        self.bulk = bool(bulk)
         self.counters = EngineCounters()
         self.pool_idle = (pool_idle if pool_idle is not None
                           else _env_float("REPRO_POOL_IDLE", 60.0))
@@ -966,9 +1067,10 @@ class ExperimentEngine:
 
     @classmethod
     def from_env(cls, jobs: int | None = None,
-                 cache: bool | None = None) -> "ExperimentEngine":
-        """Build an engine from ``REPRO_JOBS``/``REPRO_NO_CACHE``,
-        with explicit arguments taking precedence."""
+                 cache: bool | None = None,
+                 bulk: bool | None = None) -> "ExperimentEngine":
+        """Build an engine from ``REPRO_JOBS``/``REPRO_NO_CACHE``/
+        ``REPRO_BULK``, with explicit arguments taking precedence."""
         if jobs is None:
             raw = os.environ.get("REPRO_JOBS", "1") or "1"
             try:
@@ -978,7 +1080,7 @@ class ExperimentEngine:
                     f"REPRO_JOBS={raw!r} is not an integer") from None
         if cache is None:
             cache = not os.environ.get("REPRO_NO_CACHE")
-        return cls(jobs=jobs, cache=cache)
+        return cls(jobs=jobs, cache=cache, bulk=bulk)
 
     # -- persistent pool lifecycle -------------------------------------
     def _acquire_pool(self) -> ProcessPoolExecutor | None:
@@ -1146,20 +1248,50 @@ class ExperimentEngine:
                 continue
             pending[key] = job
         if pending:
-            runs = self._execute(list(pending.values()))
+            pending_jobs = list(pending.values())
+            plan = plan_batch(pending_jobs, bulk_enabled=self.bulk)
+            runs: list[KernelRun | None] = [None] * len(pending_jobs)
+            stage_seconds: dict[str, float] = {}
+            if plan.bulk:
+                # imported lazily: the bulk evaluator pulls in the
+                # analytic stack, which plain functional runs never need
+                from repro.analytic.bulk import evaluate_bulk
+
+                bulk_runs, bulk_stages = evaluate_bulk(
+                    [pending_jobs[i] for i in plan.bulk])
+                for index, run in zip(plan.bulk, bulk_runs):
+                    runs[index] = run
+                for name, seconds in bulk_stages.items():
+                    stage_seconds[name] = (stage_seconds.get(name, 0.0)
+                                           + seconds)
+            if plan.pooled:
+                t_pooled = time.perf_counter()
+                pooled_runs = self._execute(
+                    [pending_jobs[i] for i in plan.pooled])
+                stage_seconds["pooled"] = (
+                    stage_seconds.get("pooled", 0.0)
+                    + time.perf_counter() - t_pooled)
+                for index, run in zip(plan.pooled, pooled_runs):
+                    runs[index] = run
             sim_instructions = sim_seconds = 0
+            t_store = time.perf_counter()
             for key, job, run in zip(pending, pending.values(), runs):
                 sim_instructions += run.stats.instructions
                 sim_seconds += run.wall_seconds
                 self._memo[key] = run
                 if self.cache:
                     self.cache.store(key, job, run)
+            stage_seconds["store"] = (stage_seconds.get("store", 0.0)
+                                      + time.perf_counter() - t_store)
             with self._counters_lock:
                 self.counters.simulated += len(pending)
                 self.counters.sim_instructions += sim_instructions
                 self.counters.sim_seconds += sim_seconds
                 self.counters.memo_hits += memo_hits
                 self.counters.disk_hits += disk_hits
+                self.counters.bulk_jobs += len(plan.bulk)
+                self.counters.pooled_jobs += len(plan.pooled)
+                self.counters.add_stage_seconds(stage_seconds)
         else:
             with self._counters_lock:
                 self.counters.memo_hits += memo_hits
@@ -1282,9 +1414,20 @@ class ExperimentEngine:
         if c.pool_spawns:
             pool = (f", pool {c.pool_spawns} spawn(s)/"
                     f"{c.pool_batches} batch(es)")
+        split = ""
+        if c.bulk_jobs or c.pooled_jobs:
+            split = (f", split {c.bulk_jobs} bulk/"
+                     f"{c.pooled_jobs} pooled/"
+                     f"{c.disk_hits + c.memo_hits} warm")
+            stages = [f"{name} {c.stage_seconds[name]:.2f}s"
+                      for name in ("operands", "compile", "profile",
+                                   "price", "pooled", "store")
+                      if name in c.stage_seconds]
+            if stages:
+                split += f" [{' '.join(stages)}]"
         return (f"engine: {c.simulated} simulations, "
                 f"{c.disk_hits} disk-cache hits, "
-                f"{c.memo_hits} memo hits{speed} "
+                f"{c.memo_hits} memo hits{speed}{split} "
                 f"(workers {self.jobs}{pool}, cache {where})")
 
 

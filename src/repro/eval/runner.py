@@ -207,6 +207,12 @@ def merge_shard_runs(kernel: str, shards, backend: str,
     merged = merge_core_results([s.result for s in shards], backend)
     merged.merged.stats.extra["wall_seconds"] = sum(
         s.result.stats.extra.get("wall_seconds", 0.0) for s in shards)
+    # calibration provenance (analytic backend): every shard was priced
+    # by the same table, so the merged result carries it too
+    for key in ("calibration", "calibration_sha256"):
+        value = shards[0].result.stats.extra.get(key)
+        if value is not None:
+            merged.merged.stats.extra[key] = value
     verified = False
     if verify and get_backend_class(backend).functional:
         if a is None or b is None:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.memory import FlatMemory
-from repro.errors import KernelError
+from repro.errors import KernelError, SimulationError
 from repro.sparse.blocksparse import NMSparseMatrix
 
 
@@ -123,6 +123,66 @@ def read_result(mem: FlatMemory, staged: StagedSpMM) -> np.ndarray:
     """Fetch the C matrix back out of simulated memory."""
     return mem.read_array(staged.c_addr, np.float32,
                           (staged.rows, staged.n_cols))
+
+
+def plan_spmm(rows: int, k: int, n_cols: int, n: int, m: int,
+              memory_bytes: int) -> StagedSpMM:
+    """The :class:`StagedSpMM` that :func:`stage_spmm` would produce,
+    without materialising any operand arrays.
+
+    Staging is deterministic: a fresh :class:`FlatMemory` allocates
+    sequentially from address 64 with 64-byte alignment, so every
+    address is a pure function of the (padded) GEMM geometry.  This
+    replays the exact allocation sequence — same sizes, same order,
+    same out-of-memory error at the same point — against a bump
+    pointer instead of a buffer, so the engine's bulk analytic path
+    can compile traces from geometry alone.
+
+    ``k``/``n_cols`` are the *padded* dimensions (see
+    :func:`repro.nn.workload.padded_gemm`).  The int32 byte-offset
+    guard uses the worst-case column index ``k - 1`` where
+    :func:`stage_spmm` inspects the actual indices; a geometry that
+    fails here conservatively falls back to the materialising path,
+    which decides exactly.
+    """
+    if n_cols % 16:
+        raise KernelError(
+            f"N={n_cols} must be a multiple of VL=16; pad B and C first")
+    slots = k // m * n
+    b_row_stride = 4 * n_cols
+    pad = 64
+
+    ptr = 64  # FlatMemory keeps address 0 unmapped
+
+    def allocate(size: int) -> int:
+        nonlocal ptr
+        base = (ptr + 63) & ~63
+        if base + size > memory_bytes:
+            raise SimulationError(
+                f"out of simulated memory: need {size} bytes at "
+                f"{base:#x}, have {memory_bytes:#x} total")
+        ptr = base + size
+        return base
+
+    values_addr = allocate(4 * rows * slots + pad)
+    if slots and (k - 1) * b_row_stride >= 2**31:
+        raise KernelError("B is too large for int32 byte offsets")
+    col_idx_scaled_addr = allocate(4 * rows * slots + pad)
+    col_idx_raw_addr = allocate(4 * rows * slots + pad)
+    b_addr = allocate(4 * k * n_cols + pad)
+    c_addr = allocate(4 * rows * n_cols + pad)
+
+    return StagedSpMM(
+        rows=rows, k=k, n_cols=n_cols, nm_n=n, nm_m=m,
+        slots_per_row=slots,
+        values_addr=values_addr,
+        col_idx_scaled_addr=col_idx_scaled_addr,
+        col_idx_raw_addr=col_idx_raw_addr,
+        b_addr=b_addr, c_addr=c_addr,
+        b_row_stride=b_row_stride,
+        c_row_stride=4 * n_cols,
+        a_row_stride=4 * slots,
+    )
 
 
 @dataclass(frozen=True)

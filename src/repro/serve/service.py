@@ -42,7 +42,9 @@ from repro.eval.engine import (
     SimJob,
     _env_float,
     _env_int,
+    acquire_cache_lock,
     job_hash,
+    release_cache_lock,
 )
 from repro.eval.runner import KernelRun
 from repro.serve.stats import LatencyStats
@@ -183,11 +185,22 @@ class ExperimentService:
         self._work = asyncio.Event()
         self._dispatcher: asyncio.Task | None = None
         self._closing = False
+        self._cache_lock = None
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Start the batching dispatcher (idempotent)."""
+        """Start the batching dispatcher (idempotent).
+
+        Also takes the cache directory's advisory lock *shared* for
+        the service's lifetime: concurrent engines may store into one
+        cache, but offline maintenance (``repro cache --vacuum``
+        takes it exclusively) fails cleanly instead of racing a live
+        server.
+        """
         if self._dispatcher is None:
+            if self.engine.cache is not None and self._cache_lock is None:
+                self._cache_lock = acquire_cache_lock(
+                    self.engine.cache.root)
             self._dispatcher = asyncio.create_task(
                 self._dispatch_loop(), name="serve-dispatcher")
 
@@ -209,6 +222,8 @@ class ExperimentService:
                 if not ticket.future.done():
                     ticket.future.set_exception(reason)
                 self._inflight.pop(ticket.key, None)
+        release_cache_lock(self._cache_lock)
+        self._cache_lock = None
         self.engine.shutdown(wait=False)
 
     # -- submission ----------------------------------------------------

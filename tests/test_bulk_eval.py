@@ -1,0 +1,145 @@
+"""Bulk analytic path: observational identity with the per-job path.
+
+The contract (ISSUE 10): with the planner's bulk path enabled, an
+engine batch must produce the same ``job_hash`` keys and bit-identical
+``Run`` payloads as the per-job path — only the ``wall_seconds``
+bookkeeping field may differ — so cache entries written by either path
+interchange.  Plus the provenance satellite: analytic runs must carry
+the active calibration table's sha256 in ``stats.extra``.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.analytic.calibration import active_table
+from repro.eval.engine import ExperimentEngine, SimJob, job_hash
+from repro.kernels.compiler.spec import Schedule
+
+ANALYTIC = "analytic-sampled"
+
+
+def _mixed_jobs():
+    """Shape + layer + multicore + CSR + detailed: both planner sides."""
+    jobs = [
+        SimJob.for_shape(32, 96, 32, nm, kernel, seed=seed,
+                         backend=ANALYTIC)
+        for kernel in ("rowwise-spmm", "indexmac-spmm")
+        for nm in ((1, 4), (2, 4))
+        for seed in (0, 1)
+    ]
+    from repro.nn import POLICIES
+    jobs += [
+        SimJob.for_layer("resnet50", "conv1", (2, 4), POLICIES["tiny"],
+                         "indexmac-spmm", backend=ANALYTIC),
+        SimJob.for_shape(32, 96, 32, (2, 4), "indexmac-spmm",
+                         schedule=Schedule(cores=3), backend=ANALYTIC),
+        SimJob.for_shape(32, 96, 32, (2, 4), "csr-spmm",
+                         backend=ANALYTIC),     # pooled: no static trace
+        SimJob.for_shape(16, 48, 16, (2, 4), "indexmac-spmm",
+                         backend="detailed"),   # pooled: functional
+    ]
+    return jobs
+
+
+def _stripped(run):
+    stats = asdict(run.stats)
+    stats["extra"] = {k: v for k, v in stats["extra"].items()
+                      if k != "wall_seconds"}
+    return run.kernel, run.verified, run.backend, stats
+
+
+@pytest.fixture(scope="module")
+def both_paths(tmp_path_factory):
+    jobs = _mixed_jobs()
+    bulk_dir = tmp_path_factory.mktemp("bulk-cache")
+    perjob_dir = tmp_path_factory.mktemp("perjob-cache")
+
+    bulk_engine = ExperimentEngine(jobs=1, cache_dir=bulk_dir, bulk=True)
+    bulk_runs = bulk_engine.run(jobs)
+    bulk_engine.shutdown(wait=False)
+
+    perjob_engine = ExperimentEngine(jobs=1, cache_dir=perjob_dir,
+                                     bulk=False)
+    perjob_runs = perjob_engine.run(jobs)
+    perjob_engine.shutdown(wait=False)
+    return jobs, bulk_dir, bulk_engine, bulk_runs, perjob_runs
+
+
+def test_planner_split_counters(both_paths):
+    jobs, _, engine, _, _ = both_paths
+    assert engine.counters.bulk_jobs == len(jobs) - 2
+    assert engine.counters.pooled_jobs == 2
+    assert engine.counters.simulated == len(jobs)
+
+
+def test_bulk_results_bit_identical_to_per_job(both_paths):
+    _, _, _, bulk_runs, perjob_runs = both_paths
+    for bulk, perjob in zip(bulk_runs, perjob_runs):
+        assert _stripped(bulk) == _stripped(perjob)
+
+
+def test_cache_entries_interchange(both_paths):
+    # a fresh engine pointed at the bulk-written cache must answer the
+    # whole batch (including per-job-path jobs) with zero simulations
+    jobs, bulk_dir, _, bulk_runs, _ = both_paths
+    warm = ExperimentEngine(jobs=1, cache_dir=bulk_dir, bulk=False)
+    warm_runs = warm.run(jobs)
+    assert warm.counters.simulated == 0
+    for cold, replayed in zip(bulk_runs, warm_runs):
+        assert _stripped(cold) == _stripped(replayed)
+    warm.shutdown(wait=False)
+
+
+def test_job_hash_untouched_by_bulk_provenance(both_paths):
+    # extra-dict provenance must not perturb cache identity: hashing
+    # the same job twice (before/after runs landed) is stable
+    jobs, _, _, _, _ = both_paths
+    assert [job_hash(job) for job in jobs] == [job_hash(job)
+                                              for job in jobs]
+
+
+def test_summary_reports_planner_split(both_paths):
+    _, _, engine, _, _ = both_paths
+    summary = engine.summary()
+    assert summary.startswith("engine:")
+    assert "split 10 bulk/2 pooled/0 warm" in summary
+    for stage in ("operands", "compile", "profile", "price", "pooled",
+                  "store"):
+        assert stage in summary
+
+
+def test_analytic_runs_carry_calibration_provenance(both_paths):
+    jobs, _, _, bulk_runs, perjob_runs = both_paths
+    sha = active_table().sha256()
+    for job, bulk, perjob in zip(jobs, bulk_runs, perjob_runs):
+        for run in (bulk, perjob):
+            if job.backend == ANALYTIC:
+                assert run.stats.extra["calibration_sha256"] == sha
+                assert run.stats.extra["calibration"] == sha[:16]
+            else:
+                assert "calibration_sha256" not in run.stats.extra
+
+
+def test_table_digest_is_sha256_prefix():
+    table = active_table()
+    assert table.digest() == table.sha256()[:16]
+    assert len(table.sha256()) == 64
+
+
+def test_predict_many_bitwise_equals_predict():
+    table = active_table()
+    rng = np.random.default_rng(11)
+    matrix = rng.standard_normal((64, len(table.weights)))
+    many = table.predict_many(matrix)
+    assert many.dtype == np.float64
+    for row, cycles in zip(matrix, many):
+        # bit-for-bit, not approx: cached results must not depend on
+        # whether pricing went through the bulk path
+        assert float(cycles) == table.predict(row)
+
+
+def test_predict_many_empty():
+    table = active_table()
+    assert table.predict_many(np.empty((0, 0))).shape == (0,)
